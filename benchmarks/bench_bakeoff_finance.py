@@ -1,0 +1,55 @@
+"""E3 — the DBMS bakeoff on the financial application (Figure 4).
+
+Every system processes the same synthetic order-book stream; measurements
+are steady-state slices (see ``harness.py``).  The pytest-benchmark table
+is the bakeoff: rows are ``query x system``, and per-operation time is the
+cost of a 40-event slice, so relative factors read off directly.
+
+The paper's claims under test:
+* DBToaster is 1-3 orders of magnitude faster than re-evaluation;
+* it significantly outperforms stream engines where they can compete;
+* on nested order-book queries (vwap, mst) it "stands alone" — the stream
+  engine rows are skipped as unsupported.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from benchmarks.harness import prepare_steady_state
+from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+from repro.workloads.orderbook import OrderBookGenerator
+
+PREFILL = 1_200
+SLICE = 40
+SYSTEMS = ["dbtoaster", "dbtoaster_interp", "streamops", "ivm", "reeval"]
+
+
+@lru_cache(maxsize=None)
+def steady_state(kind: str, query_name: str):
+    return prepare_steady_state(
+        kind,
+        {query_name: FINANCE_QUERIES[query_name]},
+        finance_catalog(),
+        OrderBookGenerator(seed=2009).events(PREFILL + SLICE + 10),
+        prefill=PREFILL,
+        slice_size=SLICE,
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query", sorted(FINANCE_QUERIES))
+def bench_finance_bakeoff(benchmark, query, system):
+    state = steady_state(system, query)
+    if state is None:
+        pytest.skip(f"{system} cannot express {query} (no nested aggregates)")
+
+    def setup():
+        return (state.fresh_engine(),), {}
+
+    def run_slice(engine):
+        state.run_slice(engine)
+
+    benchmark.pedantic(run_slice, setup=setup, rounds=3)
+    benchmark.extra_info["events_per_op"] = SLICE
+    benchmark.extra_info["steady_state_events"] = PREFILL

@@ -1,0 +1,93 @@
+"""E9 — arbitrary tuple lifetimes: deletion-heavy streams (Section 2).
+
+The paper's data model point: order books "do not grow unboundedly in
+practice, but cannot be expressed by windows given arbitrary input deltas".
+This bench sweeps the cancellation ratio of the order-book feed and checks
+(a) deletions cost the same as insertions (strict delta symmetry) and
+(b) state stays bounded by the live book, not by events processed.
+"""
+
+import copy
+from functools import lru_cache
+
+import pytest
+
+from repro.compiler import compile_sql
+from repro.runtime import DeltaEngine
+from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+from repro.workloads.orderbook import OrderBookGenerator
+
+PREFILL = 1_000
+SLICE = 60
+
+#: (new order, cancel, modify) weights per regime.
+MIXES = {
+    "insert_heavy": (0.80, 0.15, 0.05),
+    "balanced": (0.45, 0.35, 0.20),
+    "cancel_heavy": (0.25, 0.55, 0.20),
+}
+
+
+@lru_cache(maxsize=None)
+def prepared(mix: str):
+    new_w, cancel_w, modify_w = MIXES[mix]
+    catalog = finance_catalog()
+    program = compile_sql(FINANCE_QUERIES["bsp"], catalog, name="bsp")
+    engine = DeltaEngine(program)
+    generator = OrderBookGenerator(
+        seed=41, new_order_weight=new_w, cancel_weight=cancel_w,
+        modify_weight=modify_w,
+    )
+    events = list(generator.events(PREFILL + SLICE))
+    for event in events[:PREFILL]:
+        engine.process(event)
+    return engine, events[PREFILL:]
+
+
+@pytest.mark.parametrize("mix", sorted(MIXES))
+def bench_delete_ratio(benchmark, mix):
+    engine, slice_events = prepared(mix)
+
+    def setup():
+        return (copy.deepcopy(engine),), {}
+
+    def run(fresh):
+        for event in slice_events:
+            fresh.process(event)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["events_per_op"] = SLICE
+
+
+def test_state_bounded_by_live_book_not_event_count():
+    catalog = finance_catalog()
+    program = compile_sql(FINANCE_QUERIES["bsp"], catalog, name="bsp")
+    engine = DeltaEngine(program)
+    generator = OrderBookGenerator(
+        seed=43, new_order_weight=0.25, cancel_weight=0.55, modify_weight=0.20
+    )
+    for event in generator.events(6_000):
+        engine.process(event)
+    depth = generator.depth()
+    live_orders = depth["bids"] + depth["asks"]
+    # Maps are keyed by broker (10) and aggregate values; entries must be
+    # tiny relative to the 6000 processed events.
+    assert engine.total_entries() < max(200, live_orders)
+
+
+def test_full_drain_returns_to_empty_state():
+    """Inserting then deleting *everything* leaves zero entries (exact
+    inverses, zero eviction, index cleanup)."""
+    catalog = finance_catalog()
+    program = compile_sql(FINANCE_QUERIES["axf"], catalog, name="axf")
+    engine = DeltaEngine(program)
+    rows = [(t, t, t % 7, 10_000 + (t % 40), 1 + t % 9) for t in range(200)]
+    for row in rows:
+        engine.insert("bids", *row)
+        engine.insert("asks", *row)
+    assert engine.total_entries() > 0
+    for row in rows:
+        engine.delete("bids", *row)
+        engine.delete("asks", *row)
+    assert engine.total_entries() == 0
+    assert engine.results("axf") == []

@@ -1,0 +1,90 @@
+"""Algorithmic order book trading (the paper's financial application).
+
+Maintains the finance query suite over a synthetic NASDAQ TotalView-like
+feed and runs a toy *static order book imbalance* (SOBI) strategy on top:
+SOBI compares volume-weighted price pressure on the bid and ask sides and
+leans against the thinner side.  The strategy reads the standing VWAP-style
+aggregates after every batch — exactly the embedded-mode usage the paper
+describes (continuous queries feeding application logic in-process).
+
+Run:  python examples/orderbook_trading.py [events]
+"""
+
+import sys
+import time
+
+from repro.algebra.translate import translate_sql
+from repro.compiler import compile_queries
+from repro.runtime import DeltaEngine
+from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+from repro.workloads.orderbook import OrderBookGenerator
+
+#: Bid- and ask-side pressure: notional of orders whose size is at least a
+#: quarter of the side's total standing volume (the VWAP query family).
+SOBI_QUERIES = {
+    "bid_pressure": (
+        "SELECT sum(b.price * b.volume) FROM bids b "
+        "WHERE b.volume > 0.25 * (SELECT sum(b1.volume) FROM bids b1)"
+    ),
+    "ask_pressure": (
+        "SELECT sum(a.price * a.volume) FROM asks a "
+        "WHERE a.volume > 0.25 * (SELECT sum(a1.volume) FROM asks a1)"
+    ),
+    "axf": FINANCE_QUERIES["axf"],
+    "bsp": FINANCE_QUERIES["bsp"],
+}
+
+
+def main(events: int = 20_000, batch: int = 2_000) -> None:
+    catalog = finance_catalog()
+    queries = [
+        translate_sql(sql, catalog, name=name) for name, sql in SOBI_QUERIES.items()
+    ]
+    program = compile_queries(queries, catalog)
+    engine = DeltaEngine(program, mode="compiled")
+    generator = OrderBookGenerator(seed=2009)
+
+    print(f"processing {events} order book events in batches of {batch}\n")
+    position = 0
+    start = time.perf_counter()
+    stream = generator.events(events)
+    processed = 0
+    while processed < events:
+        for event in stream:
+            engine.process(event)
+            processed += 1
+            if processed % batch == 0:
+                break
+        bid = engine.result_scalar("bid_pressure")
+        ask = engine.result_scalar("ask_pressure")
+        signal = 0 if (bid + ask) == 0 else (bid - ask) / (bid + ask)
+        # Lean against the imbalance: heavy bids -> expect upward pressure.
+        if signal > 0.05:
+            position += 1
+            action = "BUY "
+        elif signal < -0.05:
+            position -= 1
+            action = "SELL"
+        else:
+            action = "hold"
+        depth = generator.depth()
+        print(
+            f"  [{processed:>6}] {action}  signal={signal:+.3f} "
+            f"position={position:+d}  book={depth['bids']}x{depth['asks']}"
+        )
+    elapsed = time.perf_counter() - start
+
+    print(f"\n{processed} events in {elapsed:.2f}s "
+          f"({processed / elapsed:,.0f} events/s, 4 standing queries)")
+
+    print("\nper-broker ask/bid imbalance (AXF):")
+    for broker, imbalance in sorted(engine.results("axf"))[:5]:
+        print(f"  broker {broker}: {imbalance:+}")
+
+    print("\nmarket-maker spread exposure (BSP, top 5 brokers):")
+    for broker, spread in sorted(engine.results("bsp"))[:5]:
+        print(f"  broker {broker}: {spread:+}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20_000)

@@ -1,0 +1,32 @@
+"""DBToaster reproduction: recursive SQL delta compilation for main-memory IVM.
+
+The public API in three lines::
+
+    catalog = Catalog.from_script("CREATE STREAM R (A int, B int); ...")
+    engine = DeltaEngine(compile_sql("SELECT sum(...) FROM ...", catalog))
+    engine.insert("R", 1, 2); engine.results()
+
+See README.md for the full tour, DESIGN.md for the architecture and
+EXPERIMENTS.md for the reproduction of the paper's evaluation.
+"""
+
+from repro.sql.catalog import Catalog
+from repro.compiler import CompileOptions, compile_queries, compile_sql
+from repro.algebra.translate import translate_sql
+from repro.runtime import DeltaEngine, StreamEvent, insert, delete, update
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Catalog",
+    "CompileOptions",
+    "compile_queries",
+    "compile_sql",
+    "translate_sql",
+    "DeltaEngine",
+    "StreamEvent",
+    "insert",
+    "delete",
+    "update",
+    "__version__",
+]

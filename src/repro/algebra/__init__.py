@@ -1,0 +1,77 @@
+"""The map algebra: ring expressions over generalised multiset relations.
+
+This package implements the paper's "custom query algebra" (Section 3): an
+AGCA-style calculus whose expressions denote *generalised multiset relations*
+(GMRs) — finite mappings from tuples to ring values.  Relational operations
+become ring operations:
+
+* union / bag-sum        -> :class:`~repro.algebra.expr.Add`
+* natural join           -> :class:`~repro.algebra.expr.Mul`
+* selection predicates   -> :class:`~repro.algebra.expr.Cmp` (0/1 valued)
+* aggregation / group-by -> :class:`~repro.algebra.expr.AggSum`
+* variable assignment    -> :class:`~repro.algebra.expr.Lift`
+
+The three pillars the compiler builds on live here:
+
+* :mod:`repro.algebra.schema` — input/output variable analysis,
+* :mod:`repro.algebra.eval` — a reference evaluator (the correctness oracle),
+* :mod:`repro.algebra.delta` — delta derivation for insert/delete events,
+* :mod:`repro.algebra.simplify` — the simplification rule set that turns
+  deltas into the "asymptotically simpler" forms the paper advertises.
+"""
+
+from repro.algebra.expr import (
+    Add,
+    AggSum,
+    Cmp,
+    Const,
+    Div,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+    ONE,
+    ZERO,
+    add,
+    mul,
+    neg,
+)
+from repro.algebra.schema import free_vars, input_vars, output_vars, schema_of
+from repro.algebra.eval import eval_expr, eval_scalar
+from repro.algebra.delta import Event, delta
+from repro.algebra.simplify import normalize, simplify
+
+__all__ = [
+    "Add",
+    "AggSum",
+    "Cmp",
+    "Const",
+    "Div",
+    "Exists",
+    "Expr",
+    "Lift",
+    "MapRef",
+    "Mul",
+    "Neg",
+    "Rel",
+    "Var",
+    "ONE",
+    "ZERO",
+    "add",
+    "mul",
+    "neg",
+    "free_vars",
+    "input_vars",
+    "output_vars",
+    "schema_of",
+    "eval_expr",
+    "eval_scalar",
+    "Event",
+    "delta",
+    "normalize",
+    "simplify",
+]

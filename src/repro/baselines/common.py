@@ -1,0 +1,58 @@
+"""Uniform construction of every engine in the bakeoff."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import EventError
+from repro.compiler import CompileOptions, compile_queries
+from repro.algebra.translate import translate_sql
+from repro.sql.catalog import Catalog
+from repro.runtime.engine import DeltaEngine
+from repro.baselines.ivm import FirstOrderIVMEngine
+from repro.baselines.reeval import ReevalEngine
+from repro.baselines.streamops import StreamOpEngine
+
+#: kind -> human-readable description (the bakeoff table's row labels).
+ENGINE_KINDS = {
+    "dbtoaster": "DBToaster (recursive compilation, generated code)",
+    "dbtoaster_interp": "DBToaster maps with interpreted triggers (ablation)",
+    "ivm": "Classical first-order IVM (delta queries over base state)",
+    "streamops": "Interpreted incremental operator network (STREAM model)",
+    "reeval": "Full re-evaluation per update (conventional DBMS model)",
+    "reeval_lazy": "Full re-evaluation on read only (favourable DBMS variant)",
+}
+
+
+def make_engine(kind: str, queries: dict[str, str], catalog: Catalog):
+    """Build one bakeoff engine over the same standing queries.
+
+    All returned engines expose ``process`` / ``process_stream`` /
+    ``insert`` / ``delete`` / ``results`` / ``total_entries``.
+    """
+    if kind == "dbtoaster":
+        return _delta_engine(queries, catalog, mode="compiled")
+    if kind == "dbtoaster_interp":
+        return _delta_engine(queries, catalog, mode="interpreted")
+    if kind == "ivm":
+        return FirstOrderIVMEngine(queries, catalog)
+    if kind == "streamops":
+        return StreamOpEngine(queries, catalog)
+    if kind == "reeval":
+        return ReevalEngine(queries, catalog, refresh="eager")
+    if kind == "reeval_lazy":
+        return ReevalEngine(queries, catalog, refresh="lazy")
+    raise EventError(f"unknown engine kind {kind!r}; choose from {sorted(ENGINE_KINDS)}")
+
+
+def _delta_engine(
+    queries: dict[str, str],
+    catalog: Catalog,
+    mode: str,
+    options: Optional[CompileOptions] = None,
+) -> DeltaEngine:
+    translated = [
+        translate_sql(sql, catalog, name=name) for name, sql in queries.items()
+    ]
+    program = compile_queries(translated, catalog, options)
+    return DeltaEngine(program, mode=mode)

@@ -1,0 +1,16 @@
+"""Code generation back ends.
+
+* :mod:`repro.codegen.pygen` — generates straight-line Python trigger
+  functions from a compiled program and ``exec``-compiles them.  This is the
+  reproduction of the paper's C++ generation + native compilation step: all
+  query-plan interpretation is gone, leaving dictionary probes and
+  arithmetic.
+* :mod:`repro.codegen.cppgen` — emits the equivalent C++ source as a text
+  artifact (header + handlers), mirroring the listings shown in the paper's
+  Section 3.  It is not compiled or executed here.
+"""
+
+from repro.codegen.pygen import CompiledExecutor, generate_module
+from repro.codegen.cppgen import generate_cpp
+
+__all__ = ["CompiledExecutor", "generate_module", "generate_cpp"]

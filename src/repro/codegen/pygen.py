@@ -1,0 +1,659 @@
+"""Python trigger-code generation.
+
+Each trigger becomes one module-level function whose parameters are the
+event values and whose body is straight-line code over dictionary maps —
+loops appear only where the compiled statements iterate map entries (the
+paper's ``foreach``).  Maps are bound as default arguments, so the generated
+code pays no attribute or global lookups on the hot path.
+
+The generated source is a readable artifact in its own right (the
+``binary-size``/profiling experiments measure it); ``generate_module``
+returns it as a string and :class:`CompiledExecutor` ``exec``-compiles it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import CodegenError
+from repro.algebra.expr import (
+    Add,
+    AggSum,
+    Cmp,
+    Const,
+    Div,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+)
+from repro.algebra.simplify import monomials
+from repro.compiler.program import (
+    CompiledProgram,
+    Statement,
+    Trigger,
+    needs_buffering,
+)
+
+_CMP_PY = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class Emitter:
+    """An indentation-aware source builder."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+        self._temp = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+    def fresh(self, prefix: str = "t") -> str:
+        self._temp += 1
+        return f"__{prefix}{self._temp}"
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    class _Block:
+        def __init__(self, emitter: "Emitter") -> None:
+            self.emitter = emitter
+
+        def __enter__(self) -> None:
+            self.emitter.indent += 1
+
+        def __exit__(self, *exc) -> None:
+            self.emitter.indent -= 1
+
+    def block(self) -> "_Block":
+        return Emitter._Block(self)
+
+
+def map_local(name: str) -> str:
+    """The local (default-argument) name a map is bound to."""
+    return f"_m_{name}"
+
+
+def index_name(map_name: str, pattern: tuple[int, ...]) -> str:
+    """The INDEXES key / local name for one access pattern of a map."""
+    return f"__x_{map_name}_" + "_".join(str(p) for p in pattern)
+
+
+def collect_patterns(program: CompiledProgram) -> dict[str, set[tuple[int, ...]]]:
+    """Access patterns needing secondary indexes (a dry generation pass).
+
+    A pattern is the tuple of key positions bound at a map-loop site; real
+    DBToaster calls these the map's *in/out patterns* and maintains one
+    index per pattern so loops touch only matching entries.
+    """
+    patterns: dict[str, set[tuple[int, ...]]] = {}
+    scratch = Emitter()
+    for trigger in program.triggers.values():
+        for statement in trigger.statements:
+            generator = _StatementGen(
+                statement, scratch, buffered=False, params=trigger.params,
+                patterns=patterns, indexes=None,
+            )
+            generator.run()
+    return patterns
+
+
+def generate_module(program: CompiledProgram, use_indexes: bool = True) -> str:
+    """Generate the full trigger module source for a compiled program.
+
+    With ``use_indexes`` (the default, matching production DBToaster),
+    maps iterated with partially-bound keys get secondary index
+    dictionaries, maintained inline by every writer and used by loops to
+    touch only matching entries.
+    """
+    indexes = collect_patterns(program) if use_indexes else {}
+    emitter = Emitter()
+    emitter.line('"""Generated delta-processing triggers (do not edit).')
+    emitter.line("")
+    emitter.line("Produced by repro.codegen.pygen from the compiled program;")
+    emitter.line("maps (and secondary indexes) are bound as default arguments")
+    emitter.line("at exec time.")
+    emitter.line('"""')
+    emitter.blank()
+    emitter.line("def _div(n, d):")
+    with emitter.block():
+        emitter.line("return 0 if d == 0 else n / d")
+    emitter.blank()
+    if indexes:
+        _generate_index_rebuild(indexes, emitter)
+        emitter.blank()
+    for key in sorted(program.triggers, key=lambda k: (k[0], -k[1])):
+        _generate_trigger(program.triggers[key], emitter, indexes)
+        emitter.blank()
+    return emitter.source()
+
+
+def _generate_index_rebuild(
+    indexes: dict[str, set[tuple[int, ...]]], emitter: Emitter
+) -> None:
+    """Reconstruct every index from its base map, in place."""
+    emitter.line("def _rebuild_indexes():")
+    with emitter.block():
+        for map_name in sorted(indexes):
+            for pattern in sorted(indexes[map_name]):
+                local = index_name(map_name, pattern)
+                emitter.line(f"__idx = INDEXES[{local!r}]")
+                emitter.line("__idx.clear()")
+                emitter.line(f"for __key, __val in MAPS[{map_name!r}].items():")
+                with emitter.block():
+                    subkey = (
+                        f"(__key[{pattern[0]}],)"
+                        if len(pattern) == 1
+                        else "(" + ", ".join(f"__key[{p}]" for p in pattern) + ")"
+                    )
+                    emitter.line(
+                        f"__idx.setdefault({subkey}, {{}})[__key] = __val"
+                    )
+
+
+def _generate_trigger(
+    trigger: Trigger,
+    emitter: Emitter,
+    indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
+) -> None:
+    indexes = indexes or {}
+    maps_used = sorted(
+        {s.target for s in trigger.statements}
+        | {name for s in trigger.statements for name in s.reads()}
+    )
+    params = list(trigger.params)
+    defaults = [f"{map_local(name)}=MAPS[{name!r}]" for name in maps_used]
+    for name in maps_used:
+        for pattern in sorted(indexes.get(name, ())):
+            local = index_name(name, pattern)
+            defaults.append(f"{local}=INDEXES[{local!r}]")
+    signature = ", ".join(params + defaults)
+    emitter.line(f"def {trigger.name}({signature}):")
+    with emitter.block():
+        if not trigger.statements:
+            emitter.line("pass")
+            return
+        buffered = needs_buffering(trigger.statements)
+        written = sorted({s.target for s in trigger.statements})
+        if buffered:
+            for name in written:
+                emitter.line(f"__pending_{name} = []")
+        for statement in trigger.statements:
+            emitter.line(f"# {statement!r}")
+            _generate_statement(
+                statement, emitter, buffered, trigger.params, indexes
+            )
+        if buffered:
+            for name in written:
+                emitter.line(f"for __key, __val in __pending_{name}:")
+                with emitter.block():
+                    _emit_apply(
+                        emitter,
+                        target=name,
+                        key_code="__key",
+                        val_code="__val",
+                        patterns=sorted(indexes.get(name, ())),
+                        key_parts=None,
+                    )
+
+
+def _emit_apply(
+    emitter: Emitter,
+    target: str,
+    key_code: str,
+    val_code: str,
+    patterns: list[tuple[int, ...]],
+    key_parts: Optional[list[str]],
+) -> None:
+    """``target[key] += val`` with zero eviction and index maintenance."""
+    local = map_local(target)
+    cur = emitter.fresh("c")
+    emitter.line(f"{cur} = {local}.get({key_code}, 0) + {val_code}")
+
+    def subkey_code(pattern: tuple[int, ...]) -> str:
+        if key_parts is not None:
+            parts = [key_parts[p] for p in pattern]
+        else:
+            parts = [f"{key_code}[{p}]" for p in pattern]
+        if len(parts) == 1:
+            return f"({parts[0]},)"
+        return "(" + ", ".join(parts) + ")"
+
+    emitter.line(f"if {cur} == 0:")
+    with emitter.block():
+        emitter.line(f"{local}.pop({key_code}, None)")
+        for pattern in patterns:
+            idx = index_name(target, pattern)
+            bucket = emitter.fresh("b")
+            emitter.line(f"{bucket} = {idx}.get({subkey_code(pattern)})")
+            emitter.line(f"if {bucket} is not None:")
+            with emitter.block():
+                emitter.line(f"{bucket}.pop({key_code}, None)")
+                emitter.line(f"if not {bucket}:")
+                with emitter.block():
+                    emitter.line(f"{idx}.pop({subkey_code(pattern)}, None)")
+    emitter.line("else:")
+    with emitter.block():
+        emitter.line(f"{local}[{key_code}] = {cur}")
+        for pattern in patterns:
+            idx = index_name(target, pattern)
+            emitter.line(
+                f"{idx}.setdefault({subkey_code(pattern)}, {{}})"
+                f"[{key_code}] = {cur}"
+            )
+
+
+def _generate_statement(
+    statement: Statement,
+    emitter: Emitter,
+    buffered: bool,
+    params: tuple[str, ...],
+    indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
+) -> None:
+    generator = _StatementGen(
+        statement, emitter, buffered, params, patterns=None, indexes=indexes
+    )
+    generator.run()
+
+
+class _StatementGen:
+    """Generates the loops + update for one statement.
+
+    ``patterns`` (when given) collects the access patterns seen at map-loop
+    sites instead of using them — the dry pass of index planning.
+    ``indexes`` (when given) maps each map to its available patterns; loops
+    matching a pattern iterate the index bucket, and updates maintain the
+    target's indexes inline.
+    """
+
+    def __init__(
+        self,
+        statement: Statement,
+        emitter: Emitter,
+        buffered: bool,
+        params: tuple[str, ...] = (),
+        patterns: Optional[dict[str, set[tuple[int, ...]]]] = None,
+        indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
+    ):
+        self.statement = statement
+        self.emitter = emitter
+        self.buffered = buffered
+        self.params = tuple(params)
+        self.patterns = patterns
+        self.indexes = indexes or {}
+        self.bound: set[str] = set()
+
+    def run(self) -> None:
+        expanded = monomials(self.statement.rhs)
+        if not expanded:
+            return  # identically zero RHS: nothing to emit
+        if len(expanded) != 1:
+            raise CodegenError(
+                f"statement RHS must be a single monomial: {self.statement!r}"
+            )
+        coeff, factors = expanded[0]
+        # Exactly the event parameters are bound on entry; every other
+        # variable is bound by loops or lift assignments in the body.
+        self.bound = set(self.params)
+        terms: list[str] = [] if coeff == 1 else [repr(coeff)]
+        self._emit_product(list(factors), terms)
+
+    # -- the recursive product emitter -----------------------------------
+
+    def _emit_product(self, factors: list[Expr], terms: list[str]) -> None:
+        """Emit code for a product; recursion nests loops."""
+        emitter = self.emitter
+        factors = list(factors)
+        terms = list(terms)
+        while factors:
+            factor = factors[0]
+            if isinstance(factor, (AggSum, Exists)):
+                break  # handled by the dispatch below (flatten or guard)
+            if isinstance(factor, Cmp) and self._is_scalar(factor):
+                # Comparisons become guards: cheaper than multiplying 0/1
+                # and they short-circuit the rest of the statement.
+                op = _CMP_PY[factor.op]
+                cond = (
+                    f"{self._scalar_code(factor.left)} {op} "
+                    f"{self._scalar_code(factor.right)}"
+                )
+                emitter.line(f"if {cond}:")
+                with emitter.block():
+                    self._emit_product(factors[1:], terms)
+                return
+            if self._is_scalar(factor):
+                terms.append(self._scalar_code(factor))
+                factors.pop(0)
+                continue
+            break
+        if not factors:
+            self._emit_update(terms)
+            return
+
+        factor = factors.pop(0)
+        rest = factors
+
+        if isinstance(factor, Lift):
+            if factor.var in self.bound:
+                cond = f"{factor.var} == {self._scalar_code(factor.body)}"
+                emitter.line(f"if {cond}:")
+                with emitter.block():
+                    self._emit_product(rest, list(terms))
+                return
+            emitter.line(f"{factor.var} = {self._scalar_code(factor.body)}")
+            self.bound.add(factor.var)
+            self._emit_product(rest, list(terms))
+            return
+
+        if isinstance(factor, MapRef):
+            self._emit_map_loop(factor, rest, terms)
+            return
+
+        if isinstance(factor, AggSum):
+            # Linear position: flatten (grouping is reconstituted by the
+            # target accumulation; summed variables are invisible outside).
+            inner = _factors_of(factor.body)
+            self._emit_product(inner + rest, list(terms))
+            return
+
+        if isinstance(factor, Exists):
+            inner = factor.body
+            from repro.algebra.schema import output_vars
+
+            unbound = [v for v in output_vars(inner) if v not in self.bound]
+            if not unbound:
+                # Scalar existence test: accumulate the body value, then
+                # guard the rest of the statement on it being non-zero.
+                acc = self._scalar_aggregate(inner)
+                emitter.line(f"if {acc} != 0:")
+                with emitter.block():
+                    self._emit_product(rest, list(terms))
+                return
+            if isinstance(inner, MapRef):
+                self._emit_map_loop(inner, rest, terms, cap_value=True)
+                return
+            raise CodegenError(f"unsupported Exists structure: {factor!r}")
+
+        raise CodegenError(
+            f"cannot generate code for factor {factor!r} in {self.statement!r}"
+        )
+
+    def _emit_map_loop(
+        self,
+        ref: MapRef,
+        rest: list[Expr],
+        terms: list[str],
+        cap_value: bool = False,
+    ) -> None:
+        emitter = self.emitter
+        local = map_local(ref.name)
+        filters: list[tuple[int, str]] = []
+        bindings: list[tuple[int, str]] = []
+        seen_here: dict[str, int] = {}
+        for position, arg in enumerate(ref.args):
+            if isinstance(arg, Const):
+                filters.append((position, repr(arg.value)))
+            elif arg.name in self.bound:
+                filters.append((position, arg.name))
+            elif arg.name in seen_here:
+                filters.append((position, f"__e[{seen_here[arg.name]}]"))
+            else:
+                seen_here[arg.name] = position
+                bindings.append((position, arg.name))
+
+        key_var = emitter.fresh("e")
+        val_var = emitter.fresh("v")
+        arity = len(ref.args)
+        if arity == 0:
+            value = f"{local}.get((), 0)"
+            term = f"(1 if {value} != 0 else 0)" if cap_value else value
+            self._emit_product(rest, terms + [term])
+            return
+
+        # Rebind the element variable name used by duplicate-position filters.
+        filters = [(p, c.replace("__e[", f"{key_var}[")) for p, c in filters]
+
+        pattern = tuple(sorted(p for p, _ in filters))
+        partially_bound = bool(bindings) and bool(filters)
+        if partially_bound and self.patterns is not None:
+            self.patterns.setdefault(ref.name, set()).add(pattern)
+
+        use_index = (
+            partially_bound and pattern in self.indexes.get(ref.name, ())
+        )
+        if use_index:
+            # Probe the secondary index: only matching entries are touched.
+            subkey_parts = [c for _, c in sorted(filters)]
+            subkey = (
+                f"({subkey_parts[0]},)"
+                if len(subkey_parts) == 1
+                else "(" + ", ".join(subkey_parts) + ")"
+            )
+            idx = index_name(ref.name, pattern)
+            emitter.line(
+                f"for {key_var}, {val_var} in {idx}.get({subkey}, _EMPTY).items():"
+            )
+            remaining_filters: list[tuple[int, str]] = []
+        else:
+            emitter.line(f"for {key_var}, {val_var} in {local}.items():")
+            remaining_filters = filters
+        with emitter.block():
+            conditions = [f"{key_var}[{p}] == {c}" for p, c in remaining_filters]
+            if conditions:
+                emitter.line(f"if not ({' and '.join(conditions)}): continue")
+            for position, var in bindings:
+                emitter.line(f"{var} = {key_var}[{position}]")
+                self.bound.add(var)
+            term = f"(1 if {val_var} != 0 else 0)" if cap_value else val_var
+            self._emit_product(rest, terms + [term])
+        for _, var in bindings:
+            self.bound.discard(var)
+
+    def _emit_update(self, terms: list[str]) -> None:
+        emitter = self.emitter
+        statement = self.statement
+        value = " * ".join(terms) if terms else "1"
+        val_var = emitter.fresh("d")
+        emitter.line(f"{val_var} = {value}")
+        emitter.line(f"if {val_var} != 0:")
+        with emitter.block():
+            key = self._key_code()
+            if self.buffered:
+                emitter.line(
+                    f"__pending_{statement.target}.append(({key}, {val_var}))"
+                )
+                return
+            key_parts = [self._scalar_code(arg) for arg in statement.args]
+            _emit_apply(
+                emitter,
+                target=statement.target,
+                key_code=key,
+                val_code=val_var,
+                patterns=sorted(self.indexes.get(statement.target, ())),
+                key_parts=key_parts,
+            )
+
+    def _key_code(self) -> str:
+        args = self.statement.args
+        if not args:
+            return "()"
+        parts = [self._scalar_code(arg) for arg in args]
+        if len(parts) == 1:
+            return f"({parts[0]},)"
+        return "(" + ", ".join(parts) + ")"
+
+    # -- scalar expressions ------------------------------------------------
+
+    def _is_scalar(self, expr: Expr) -> bool:
+        """True when the factor has no unbound outputs (pure value)."""
+        if isinstance(expr, (Const, Var, Cmp, Div)):
+            return True
+        if isinstance(expr, MapRef):
+            return all(
+                isinstance(a, Const) or a.name in self.bound for a in expr.args
+            )
+        if isinstance(expr, Lift):
+            return False
+        if isinstance(expr, (AggSum, Exists)):
+            from repro.algebra.schema import output_vars
+
+            return all(v in self.bound for v in output_vars(expr))
+        if isinstance(expr, (Mul, Add, Neg)):
+            return all(self._is_scalar(c) for c in expr.children())
+        return False
+
+    def _scalar_code(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, Neg):
+            return f"(-{self._scalar_code(expr.body)})"
+        if isinstance(expr, Add):
+            return "(" + " + ".join(self._scalar_code(t) for t in expr.terms) + ")"
+        if isinstance(expr, Mul):
+            return "(" + " * ".join(self._scalar_code(f) for f in expr.factors) + ")"
+        if isinstance(expr, Div):
+            return f"_div({self._scalar_code(expr.left)}, {self._scalar_code(expr.right)})"
+        if isinstance(expr, Cmp):
+            op = _CMP_PY[expr.op]
+            return (
+                f"(1 if {self._scalar_code(expr.left)} {op} "
+                f"{self._scalar_code(expr.right)} else 0)"
+            )
+        if isinstance(expr, MapRef):
+            local = map_local(expr.name)
+            if not expr.args:
+                return f"{local}.get((), 0)"
+            parts = [self._scalar_code(a) for a in expr.args]
+            key = f"({parts[0]},)" if len(parts) == 1 else "(" + ", ".join(parts) + ")"
+            return f"{local}.get({key}, 0)"
+        if isinstance(expr, Exists):
+            return f"(1 if {self._scalar_aggregate(expr.body)} != 0 else 0)"
+        if isinstance(expr, AggSum):
+            return self._scalar_aggregate(expr)
+        raise CodegenError(f"unsupported scalar expression {expr!r}")
+
+    def _scalar_aggregate(self, expr: Expr) -> str:
+        """Evaluate a nested aggregate into a temp accumulator variable.
+
+        Used for non-linear positions (comparison operands, Exists bodies):
+        emits accumulation loops *before* the current line and returns the
+        accumulator's name.  Sum bodies accumulate term by term.
+        """
+        acc = self.emitter.fresh("acc")
+        self.emitter.line(f"{acc} = 0")
+        body = expr.body if isinstance(expr, AggSum) else expr
+        saved_bound = set(self.bound)
+        collector = _AccumulatorGen(self, acc)
+        for coeff, factors in monomials(body):
+            prefix = [] if coeff == 1 else [Const(coeff)]
+            collector.emit(prefix + list(factors))
+            self.bound = set(saved_bound)
+        return acc
+
+
+class _AccumulatorGen:
+    """Emits ``acc += value`` loops for a nested (scalar) aggregate."""
+
+    def __init__(self, parent: _StatementGen, acc: str) -> None:
+        self.parent = parent
+        self.acc = acc
+
+    def emit(self, factors: list[Expr]) -> None:
+        parent = self.parent
+        emitter = parent.emitter
+
+        # Reuse the product emitter, but accumulate instead of updating the
+        # target map: temporarily swap _emit_update.
+        original = parent._emit_update
+
+        def accumulate(terms: list[str]) -> None:
+            value = " * ".join(terms) if terms else "1"
+            emitter.line(f"{self.acc} += {value}")
+
+        parent._emit_update = accumulate  # type: ignore[method-assign]
+        try:
+            parent._emit_product(list(factors), [])
+        finally:
+            parent._emit_update = original  # type: ignore[method-assign]
+
+
+def _factors_of(expr: Expr) -> list[Expr]:
+    if isinstance(expr, Mul):
+        return list(expr.factors)
+    return [expr]
+
+
+
+
+class CompiledExecutor:
+    """Compiles the trigger module and dispatches events to its functions.
+
+    ``use_indexes=False`` disables secondary index generation (the access-
+    pattern ablation benchmark).
+    """
+
+    mode = "compiled"
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        maps: Optional[dict] = None,
+        use_indexes: bool = True,
+    ):
+        self.program = program
+        self.use_indexes = use_indexes
+        self._index_patterns = (
+            collect_patterns(program) if use_indexes else {}
+        )
+        self.source = generate_module(program, use_indexes=use_indexes)
+        self._functions: dict[tuple[str, int], object] = {}
+        self._maps: Optional[dict] = None
+        self.indexes: dict[str, dict] = {}
+        if maps is not None:
+            self.bind(maps)
+
+    def bind(self, maps: dict) -> None:
+        """Exec the generated module against concrete map storage.
+
+        Secondary indexes are (re)built from the current map contents, so
+        binding a snapshot of a live engine stays consistent.
+        """
+        self.indexes = {
+            index_name(map_name, pattern): {}
+            for map_name, patterns in self._index_patterns.items()
+            for pattern in patterns
+        }
+        namespace: dict = {
+            "MAPS": maps,
+            "INDEXES": self.indexes,
+            "_EMPTY": {},
+        }
+        code = compile(self.source, "<repro-generated-triggers>", "exec")
+        exec(code, namespace)  # noqa: S102 - this is the compiler back end
+        rebuild = namespace.get("_rebuild_indexes")
+        if rebuild is not None:
+            rebuild()
+        self._maps = maps
+        for (relation, sign), trigger in self.program.triggers.items():
+            self._functions[(relation, sign)] = namespace[trigger.name]
+
+    def execute(
+        self,
+        trigger: Trigger,
+        values: Sequence,
+        maps: dict,
+        profiler=None,
+    ) -> None:
+        if self._maps is None or self._maps is not maps:
+            self.bind(maps)
+        self._functions[(trigger.relation, trigger.sign)](*values)

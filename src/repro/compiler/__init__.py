@@ -1,0 +1,29 @@
+"""The recursive delta compiler: the paper's core contribution.
+
+Given translated queries, the compiler derives delta expressions for every
+(relation, insert/delete) event, materialises the stream-dependent pieces of
+each delta as in-memory *maps*, and recursively compiles maintenance
+triggers for those maps — deltas of deltas — until every trigger is a
+straight-line update over previously-maintained maps (Figure 2 of the
+paper).  Structurally identical map definitions are shared across triggers
+and queries.
+"""
+
+from repro.compiler.program import (
+    CompiledProgram,
+    CompileOptions,
+    MapDef,
+    Statement,
+    Trigger,
+)
+from repro.compiler.compile import compile_queries, compile_sql
+
+__all__ = [
+    "CompiledProgram",
+    "CompileOptions",
+    "MapDef",
+    "Statement",
+    "Trigger",
+    "compile_queries",
+    "compile_sql",
+]

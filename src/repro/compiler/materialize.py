@@ -1,0 +1,235 @@
+"""Map materialisation: turning stream-dependent expressions into map lookups.
+
+Given a (simplified) delta expression, the materialiser replaces every piece
+that references base relations with references to maintained maps:
+
+* a **pure aggregate** whose context-bound variables are all *data-bound*
+  (they appear as relation arguments or lift targets inside the definition,
+  so the map's key domain is finite and maintainable) becomes a standalone
+  map — this is the paper's ``q_D[b]``/``q_A[c]`` step;
+* a bare **relation atom** becomes an *occurrence map* (tuple -> multiplicity
+  count), the paper's ``q_1[b,c]``;
+* anything whose event-parameter dependence cannot be keyed (e.g. a nested
+  aggregate compared against arithmetic over the event values, as in VWAP)
+  keeps its structure inline and only its pure sub-parts are materialised —
+  the trigger then loops over the materialised maps, which is DBToaster's
+  documented re-evaluation fallback for non-linear deltas.
+
+Structurally identical definitions share one map: definitions are renamed to
+canonical variables and looked up in a registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import CompilationError
+from repro.algebra.expr import (
+    AggSum,
+    Const,
+    Expr,
+    Lift,
+    MapRef,
+    Mul,
+    Rel,
+    Var,
+    contains_relation,
+    mul,
+    rename_vars,
+    walk,
+)
+from repro.algebra.schema import output_vars
+from repro.compiler.program import MapDef
+
+
+def ordered_vars(expr: Expr) -> list[str]:
+    """Variable names in deterministic first-occurrence (pre-order) order."""
+    seen: list[str] = []
+    seen_set: set[str] = set()
+
+    def note(name: str) -> None:
+        if name not in seen_set:
+            seen_set.add(name)
+            seen.append(name)
+
+    for node in walk(expr):
+        if isinstance(node, Var):
+            note(node.name)
+        elif isinstance(node, (Rel, MapRef)):
+            for arg in node.args:
+                if isinstance(arg, Var):
+                    note(arg.name)
+        elif isinstance(node, Lift):
+            note(node.var)
+        elif isinstance(node, AggSum):
+            for g in node.group:
+                note(g)
+    return seen
+
+
+def canonicalize(keys: tuple[str, ...], body: Expr) -> tuple[Expr, tuple[str, ...]]:
+    """Rename a definition to canonical variables for structural sharing.
+
+    Keys become ``__k0..`` positionally; all other variables become
+    ``__i0..`` in first-occurrence order.  Returns the canonical
+    ``AggSum(keys, body)`` and the canonical key names.
+    """
+    mapping: dict[str, str] = {}
+    for index, key in enumerate(keys):
+        mapping[key] = f"__k{index}"
+    counter = 0
+    for name in ordered_vars(body):
+        if name not in mapping:
+            mapping[name] = f"__i{counter}"
+            counter += 1
+    canon_keys = tuple(mapping[k] for k in keys)
+    return AggSum(canon_keys, rename_vars(body, mapping)), canon_keys
+
+
+def is_data_bound(var: str, body: Expr) -> bool:
+    """True when ``var``'s domain is derived from the data.
+
+    A key variable is maintainable when it appears as a relation-atom
+    argument (active domain) or as a lift target (computed from data rows).
+    Variables used only inside comparisons or arithmetic would require
+    enumerating an unbounded domain.
+    """
+    for node in walk(body):
+        if isinstance(node, Rel):
+            if any(isinstance(a, Var) and a.name == var for a in node.args):
+                return True
+        elif isinstance(node, Lift) and node.var == var:
+            return True
+    return False
+
+
+@dataclass
+class MapRegistry:
+    """Names, definitions and structural sharing of maintained maps."""
+
+    share: bool = True
+    maps: dict[str, MapDef] = field(default_factory=dict)
+    pending: list[MapDef] = field(default_factory=list)
+    _canonical: dict[Expr, str] = field(default_factory=dict)
+    _counter: int = 0
+
+    def register_root(
+        self, name: str, keys: tuple[str, ...], defn_body: Expr, description: str = ""
+    ) -> MapDef:
+        """Register a query's root map under a fixed name.
+
+        If an identical definition already exists, the existing map is
+        reused (cross-query sharing) and no new map is created.
+        """
+        canon, canon_keys = canonicalize(keys, defn_body)
+        if self.share and canon in self._canonical:
+            return self.maps[self._canonical[canon]]
+        if name in self.maps:
+            raise CompilationError(f"duplicate map name {name!r}")
+        map_def = MapDef(
+            name=name, keys=canon_keys, defn=canon, role="root",
+            description=description,
+        )
+        self.maps[name] = map_def
+        self._canonical[canon] = name
+        self.pending.append(map_def)
+        return map_def
+
+    def get_or_create(
+        self, keys: tuple[str, ...], defn_body: Expr, hint: str, role: str = "derived"
+    ) -> MapDef:
+        canon, canon_keys = canonicalize(keys, defn_body)
+        if self.share and canon in self._canonical:
+            return self.maps[self._canonical[canon]]
+        self._counter += 1
+        name = f"m{self._counter}_{hint}" if hint else f"m{self._counter}"
+        map_def = MapDef(name=name, keys=canon_keys, defn=canon, role=role)
+        self.maps[name] = map_def
+        self._canonical[canon] = name
+        self.pending.append(map_def)
+        return map_def
+
+    def occurrence_map(self, relation: str, arity: int) -> MapDef:
+        """The tuple-multiplicity map of a base relation."""
+        vars_ = tuple(Var(f"c{i}") for i in range(arity))
+        body = Rel(relation, vars_)
+        keys = tuple(v.name for v in vars_)
+        return self.get_or_create(
+            keys, body, hint=f"base_{relation.lower()}", role="occurrence"
+        )
+
+    def take_pending(self) -> list[MapDef]:
+        pending, self.pending = self.pending, []
+        return pending
+
+
+class Materializer:
+    """Rewrites one trigger expression, creating maps as needed.
+
+    The binding context is threaded through the traversal: a variable bound
+    by an *enclosing or preceding* factor (an event parameter, a map-loop
+    output, a lift) correlates with occurrences inside nested aggregates,
+    so it must become a key of any map materialised beneath it.
+    """
+
+    def __init__(
+        self,
+        registry: MapRegistry,
+        bound: Iterable[str],
+        derived_maps: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.bound = frozenset(bound)
+        self.derived_maps = derived_maps
+
+    def rewrite(self, expr: Expr, bound: Optional[frozenset] = None) -> Expr:
+        """Replace all base-relation dependence with map references."""
+        if bound is None:
+            bound = self.bound
+        if not contains_relation(expr):
+            return expr
+
+        if isinstance(expr, Rel):
+            map_def = self.registry.occurrence_map(expr.name, len(expr.args))
+            return MapRef(map_def.name, expr.args)
+
+        if isinstance(expr, Mul):
+            running = set(bound)
+            new_factors = []
+            for factor in expr.factors:
+                new_factors.append(self.rewrite(factor, frozenset(running)))
+                running.update(output_vars(factor))
+            return mul(*new_factors)
+
+        if isinstance(expr, AggSum):
+            materialized = self._materialize_aggsum(expr, bound)
+            if materialized is not None:
+                return materialized
+            return AggSum(expr.group, self.rewrite(expr.body, bound))
+
+        if isinstance(expr, Lift):
+            return Lift(expr.var, self.rewrite(expr.body, bound))
+
+        children = tuple(self.rewrite(c, bound) for c in expr.children())
+        return expr.rebuild(children)
+
+    def _materialize_aggsum(
+        self, expr: AggSum, bound: frozenset
+    ) -> Optional[Expr]:
+        """Materialise a whole aggregate as one map, if maintainable."""
+        if not self.derived_maps:
+            return None
+        ctx_keys = [
+            v
+            for v in ordered_vars(expr.body)
+            if v in bound and v not in expr.group
+        ]
+        keys = tuple(ctx_keys) + tuple(expr.group)
+        if not all(is_data_bound(k, expr.body) for k in keys):
+            return None
+        hint = "_".join(
+            sorted({n.name.lower() for n in walk(expr) if isinstance(n, Rel)})
+        )
+        map_def = self.registry.get_or_create(keys, expr.body, hint=hint)
+        return MapRef(map_def.name, tuple(Var(k) for k in keys))

@@ -1,0 +1,220 @@
+"""Data structures describing a compiled delta-processing program.
+
+A :class:`CompiledProgram` is the compiler's output and the runtime's input:
+
+* :class:`MapDef` — an in-memory map (generalised multiset relation) with a
+  canonical defining query over base relations;
+* :class:`Statement` — one ``map[key...] += expr`` update whose right-hand
+  side references only maps, event parameters and constants;
+* :class:`Trigger` — the ordered statements to run for one
+  (relation, insert/delete) event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import CompilationError
+from repro.algebra.expr import Expr, MapRef, maps_in, used_vars, walk
+from repro.algebra.schema import output_vars
+from repro.algebra.translate import TranslatedQuery
+
+
+@dataclass
+class CompileOptions:
+    """Compiler knobs (also the levers for the ablation benchmarks).
+
+    ``derived_maps=False`` disables the paper's recursive materialisation:
+    deltas are evaluated directly over base-relation occurrence maps, which
+    is exactly classical first-order IVM (the "today's VM algorithms" the
+    introduction compares against).
+    """
+
+    derived_maps: bool = True
+    share_maps: bool = True
+    deletions: bool = True  # also generate delete triggers
+
+
+@dataclass
+class MapDef:
+    """One maintained in-memory map.
+
+    ``keys`` are the canonical key variable names (``__k0``, ``__k1``, ...);
+    ``defn`` is the closed defining query ``AggSum(keys, body)`` over base
+    relations, with exactly ``keys`` free.  ``role`` distinguishes root maps
+    (aggregate slots of user queries) from derived maps introduced by the
+    recursive compilation (including base-relation occurrence maps).
+    """
+
+    name: str
+    keys: tuple[str, ...]
+    defn: Expr
+    role: str = "derived"  # "root" | "derived" | "occurrence"
+    description: str = ""
+    #: recursion depth: 0 for roots, parent+1 for maps materialised while
+    #: compiling the parent's deltas (the "level" column of Figure 2).
+    level: int = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{','.join(self.keys)}] := {self.defn!r}"
+
+
+@dataclass
+class Statement:
+    """``target[args...] += rhs`` (with implied loops over unbound keys).
+
+    ``args[i]`` is an expression over event parameters/constants when the
+    key position is fixed by the event, or ``Var(loop_var)`` when the
+    position iterates; iterated variables are bound by evaluating ``rhs``
+    (they are outputs of map references inside it).
+    """
+
+    target: str
+    args: tuple[Expr, ...]
+    rhs: Expr
+    loop_vars: tuple[str, ...] = ()
+
+    def reads(self) -> set[str]:
+        """Names of maps the right-hand side reads."""
+        return maps_in(self.rhs)
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(a) for a in self.args)
+        loop = f" (foreach {','.join(self.loop_vars)})" if self.loop_vars else ""
+        return f"{self.target}[{inner}] += {self.rhs!r}{loop}"
+
+
+@dataclass
+class Trigger:
+    """All statements to execute for one (relation, sign) event."""
+
+    relation: str
+    sign: int  # +1 insert, -1 delete
+    params: tuple[str, ...]
+    statements: list[Statement] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        kind = "insert" if self.sign == 1 else "delete"
+        return f"on_{kind}_{self.relation.lower()}"
+
+    def __repr__(self) -> str:
+        head = f"{self.name}({', '.join(self.params)}):"
+        body = "\n".join(f"  {s!r}" for s in self.statements) or "  pass"
+        return f"{head}\n{body}"
+
+
+@dataclass
+class CompiledProgram:
+    """The full compiled artifact for a set of standing queries."""
+
+    queries: list[TranslatedQuery]
+    maps: dict[str, MapDef]
+    triggers: dict[tuple[str, int], Trigger]
+    slot_maps: dict[str, list[str]]  # query name -> root map name per slot
+    options: CompileOptions = field(default_factory=CompileOptions)
+    #: relations declared as static tables: they must be fully loaded
+    #: before the first stream event (the engine enforces this).
+    static_relations: set[str] = field(default_factory=set)
+
+    def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
+        return self.triggers.get((relation, sign))
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return tuple(sorted({rel for rel, _ in self.triggers}))
+
+    def statements_count(self) -> int:
+        return sum(len(t.statements) for t in self.triggers.values())
+
+    def describe(self) -> str:
+        """Human-readable dump (used by the Figure 2 reproduction)."""
+        lines: list[str] = ["== maps =="]
+        for map_def in self.maps.values():
+            role = f" ({map_def.role})" if map_def.role != "derived" else ""
+            lines.append(f"{map_def!r}{role}")
+        lines.append("")
+        lines.append("== triggers ==")
+        for key in sorted(self.triggers, key=lambda k: (k[0], -k[1])):
+            lines.append(repr(self.triggers[key]))
+            lines.append("")
+        return "\n".join(lines)
+
+
+def order_statements(statements: list[Statement]) -> list[Statement]:
+    """Order a trigger's statements so every read sees pre-event state.
+
+    A statement reading map X must run before the statement(s) writing X.
+    Cycles (mutual read/write, or self-reference) fall back to keeping the
+    original order; the runtime then buffers those statements' deltas in a
+    two-phase apply (see ``needs_buffering``).
+    """
+    n = len(statements)
+    if n <= 1:
+        return list(statements)
+    # edges[i] -> j means i must run before j.
+    edges: dict[int, set[int]] = {i: set() for i in range(n)}
+    indegree = [0] * n
+    for i, reader in enumerate(statements):
+        reads = reader.reads()
+        for j, writer in enumerate(statements):
+            if i == j:
+                continue
+            if writer.target in reads:
+                if j not in edges[i]:
+                    edges[i].add(j)
+                    indegree[j] += 1
+    ready = sorted(i for i in range(n) if indegree[i] == 0)
+    ordered: list[int] = []
+    while ready:
+        i = ready.pop(0)
+        ordered.append(i)
+        for j in sorted(edges[i]):
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                ready.append(j)
+        ready.sort()
+    if len(ordered) != n:
+        # A dependency cycle: preserve input order for the remainder; the
+        # executor buffers all updates, so correctness is unaffected.
+        ordered.extend(i for i in range(n) if i not in ordered)
+    return [statements[i] for i in ordered]
+
+
+def needs_buffering(statements: list[Statement]) -> bool:
+    """True when the (ordered) statements still conflict.
+
+    That happens when a statement reads a map that an *earlier* statement
+    wrote (a cycle survived ordering) or reads its own target.
+    """
+    written: set[str] = set()
+    for statement in statements:
+        if statement.target in statement.reads():
+            return True
+        if written & statement.reads():
+            return True
+        written.add(statement.target)
+    return False
+
+
+def validate_statement(statement: Statement) -> None:
+    """Sanity checks used by tests and the code generators."""
+    arg_loop_vars = {
+        a.name
+        for a in statement.args
+        if hasattr(a, "name") and a.name in statement.loop_vars
+    }
+    rhs_outputs = set(output_vars(statement.rhs))
+    missing = set(statement.loop_vars) - rhs_outputs
+    if missing:
+        raise CompilationError(
+            f"loop variables {sorted(missing)} of {statement!r} are not bound "
+            "by the right-hand side"
+        )
+    if arg_loop_vars - set(statement.loop_vars):
+        raise CompilationError(f"inconsistent loop variables in {statement!r}")

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro (DBToaster reproduction) library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the engine can catch one root type.  Sub-hierarchies
+mirror the pipeline stages: SQL front end, algebraic compilation, code
+generation and runtime execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Problem in the SQL front end (lexing, parsing or binding)."""
+
+
+class LexerError(SQLError):
+    """Invalid character sequence in the SQL input."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SQLError):
+    """SQL input does not match the grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(SQLError):
+    """Name resolution or type checking failed on a parsed query."""
+
+
+class CatalogError(SQLError):
+    """Unknown or inconsistent schema objects (relations, columns)."""
+
+
+class AlgebraError(ReproError):
+    """Malformed calculus expression or unsupported algebraic operation."""
+
+
+class SchemaError(AlgebraError):
+    """Expression violates the input/output variable discipline."""
+
+
+class TranslationError(AlgebraError):
+    """SQL construct that cannot be translated to the map algebra."""
+
+
+class CompilationError(ReproError):
+    """Recursive delta compilation failed or hit an unsupported shape."""
+
+
+class CodegenError(ReproError):
+    """Code generation produced invalid source or hit an unsupported IR."""
+
+
+class RuntimeEngineError(ReproError):
+    """Errors raised while the compiled engine is processing events."""
+
+
+class UnknownStreamError(RuntimeEngineError):
+    """An event referenced a relation the engine does not know about."""
+
+
+class EventError(RuntimeEngineError):
+    """Malformed event (wrong arity, wrong types, bad operation)."""

@@ -1,0 +1,14 @@
+"""A volcano-style (iterator model) query interpreter.
+
+This subsystem is the stand-in for the conventional engines of the paper's
+bakeoff (PostgreSQL, HSQLDB, commercial DBMS 'A'): queries execute through a
+plan of composable operator objects that pull rows from their children —
+the "query plan interpreter ... stored in dynamic data structures" whose
+overheads the paper's compilation eliminates.  It is also an independent
+implementation of SQL semantics used to cross-check the calculus evaluator.
+"""
+
+from repro.interpreter.relations import Database, Table
+from repro.interpreter.executor import execute_query
+
+__all__ = ["Database", "Table", "execute_query"]

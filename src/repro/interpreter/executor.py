@@ -1,0 +1,507 @@
+"""Planner + executor: bound SQL -> operator plan -> result rows.
+
+The planner mirrors what a conventional DBMS does for the paper's standing
+queries: scans with pushed-down single-table filters, greedy hash-join
+ordering over the equijoin graph, residual predicates (including correlated
+subqueries, evaluated per row by running a subplan) and a final group-by
+aggregation.  ``execute_query`` runs the whole thing from scratch — the
+re-evaluation cost the delta engines avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CompilationError
+from repro.sql.ast import (
+    AggregateCall,
+    Arith,
+    BetweenExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ExistsExpr,
+    InExpr,
+    Literal,
+    Not,
+    ScalarSubquery,
+    SelectQuery,
+    Star,
+    UnaryMinus,
+)
+from repro.sql.binder import BoundQuery
+from repro.interpreter.plan import (
+    CrossNode,
+    FilterNode,
+    HashJoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.interpreter.relations import Database
+
+Row = tuple
+Env = tuple
+ValueFn = Callable[[Row, Env], object]
+
+
+class _Scope:
+    """Column -> row-position resolution for one query level."""
+
+    def __init__(self, positions: dict[tuple[str, str], int], parent=None):
+        self.positions = positions
+        self.parent = parent
+
+    def locate(self, binding: str, column: str, depth: int) -> tuple[int, int]:
+        """Return (level, position): level 0 = current row, 1 = outer, ..."""
+        scope, level = self, 0
+        for _ in range(depth):
+            scope = scope.parent
+            level += 1
+            if scope is None:
+                raise CompilationError(f"no outer scope for {binding}.{column}")
+        return level, scope.positions[(binding, column.lower())]
+
+
+def _column_fn(level: int, position: int) -> ValueFn:
+    if level == 0:
+        return lambda row, env: row[position]
+    index = level - 1
+    return lambda row, env, _i=index, _p=position: env[_i][_p]
+
+
+class _Compiler:
+    """Compiles bound SQL expressions into row closures."""
+
+    def __init__(self, bound: BoundQuery, db: Database) -> None:
+        self.bound = bound
+        self.db = db
+
+    # -- scalars -----------------------------------------------------------
+
+    def scalar(self, expr, scope: _Scope) -> ValueFn:
+        if isinstance(expr, Literal):
+            value = expr.value
+            return lambda row, env: value
+        if isinstance(expr, ColumnRef):
+            resolution = self.bound.resolve(expr)
+            level, position = scope.locate(
+                resolution.binding, resolution.column, resolution.depth
+            )
+            return _column_fn(level, position)
+        if isinstance(expr, UnaryMinus):
+            inner = self.scalar(expr.operand, scope)
+            return lambda row, env: -inner(row, env)
+        if isinstance(expr, Arith):
+            left = self.scalar(expr.left, scope)
+            right = self.scalar(expr.right, scope)
+            op = expr.op
+            if op == "+":
+                return lambda row, env: left(row, env) + right(row, env)
+            if op == "-":
+                return lambda row, env: left(row, env) - right(row, env)
+            if op == "*":
+                return lambda row, env: left(row, env) * right(row, env)
+            if op == "/":
+                def divide(row, env):
+                    denominator = right(row, env)
+                    return 0 if denominator == 0 else left(row, env) / denominator
+
+                return divide
+            raise CompilationError(f"unknown arithmetic operator {op!r}")
+        if isinstance(expr, ScalarSubquery):
+            return self._scalar_subquery(expr.query, scope)
+        raise CompilationError(f"unsupported scalar expression {expr!r}")
+
+    # -- predicates ----------------------------------------------------------
+
+    def predicate(self, expr, scope: _Scope) -> ValueFn:
+        if isinstance(expr, Comparison):
+            left = self.scalar(expr.left, scope)
+            right = self.scalar(expr.right, scope)
+            op = expr.op
+            table = {
+                "=": lambda a, b: a == b,
+                "!=": lambda a, b: a != b,
+                "<": lambda a, b: a < b,
+                "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b,
+                ">=": lambda a, b: a >= b,
+            }
+            compare = table[op]
+            return lambda row, env: compare(left(row, env), right(row, env))
+        if isinstance(expr, BetweenExpr):
+            operand = self.scalar(expr.operand, scope)
+            low = self.scalar(expr.low, scope)
+            high = self.scalar(expr.high, scope)
+            return lambda row, env: low(row, env) <= operand(row, env) <= high(row, env)
+        if isinstance(expr, BoolOp):
+            operands = [self.predicate(o, scope) for o in expr.operands]
+            if expr.op == "AND":
+                return lambda row, env: all(o(row, env) for o in operands)
+            return lambda row, env: any(o(row, env) for o in operands)
+        if isinstance(expr, Not):
+            inner = self.predicate(expr.operand, scope)
+            return lambda row, env: not inner(row, env)
+        if isinstance(expr, ExistsExpr):
+            subplan, _, _ = _build_from_where(self.bound, self.db, expr.query, scope)
+            return lambda row, env: _any_row(subplan, (row, *env))
+        if isinstance(expr, InExpr):
+            needle = self.scalar(expr.needle, scope)
+            subplan, sub_scope, _ = _build_from_where(
+                self.bound, self.db, expr.query, scope
+            )
+            member = self.scalar(expr.query.items[0].expr, sub_scope)
+
+            def contains(row, env):
+                target = needle(row, env)
+                inner_env = (row, *env)
+                for sub_row, mult in subplan.rows(inner_env):
+                    if mult > 0 and member(sub_row, inner_env) == target:
+                        return True
+                return False
+
+            return contains
+        raise CompilationError(f"unsupported predicate {expr!r}")
+
+    def _scalar_subquery(self, query: SelectQuery, scope: _Scope) -> ValueFn:
+        subplan, sub_scope, _ = _build_from_where(self.bound, self.db, query, scope)
+        agg = query.items[0].expr
+        if not isinstance(agg, AggregateCall) or agg.func not in ("SUM", "COUNT"):
+            raise CompilationError(
+                "scalar subqueries must be a single sum/count aggregate"
+            )
+        if isinstance(agg.argument, Star):
+            value_fn: Optional[ValueFn] = None
+        else:
+            value_fn = self.scalar(agg.argument, sub_scope)
+
+        def aggregate(row, env):
+            inner_env = (row, *env)
+            total = 0
+            for sub_row, mult in subplan.rows(inner_env):
+                if value_fn is None:
+                    total += mult
+                else:
+                    total += value_fn(sub_row, inner_env) * mult
+            return total
+
+        return aggregate
+
+
+def _any_row(plan: PlanNode, env: Env) -> bool:
+    for _row, mult in plan.rows(env):
+        if mult > 0:
+            return True
+    return False
+
+
+def _split_conjuncts(expr) -> list:
+    if expr is None:
+        return []
+    if isinstance(expr, BoolOp) and expr.op == "AND":
+        out = []
+        for operand in expr.operands:
+            out.extend(_split_conjuncts(operand))
+        return out
+    return [expr]
+
+
+def _tables_of(expr, bound: BoundQuery, bindings: set[str]) -> Optional[set[str]]:
+    """Current-scope bindings an expression touches; None if it has
+    subqueries or outer references (not safe for pushdown/join keys)."""
+    touched: set[str] = set()
+    safe = True
+
+    def visit(node) -> None:
+        nonlocal safe
+        if isinstance(node, ColumnRef):
+            resolution = bound.resolutions.get(id(node))
+            if resolution is None or resolution.depth != 0:
+                safe = False
+            elif resolution.binding in bindings:
+                touched.add(resolution.binding)
+            else:
+                safe = False
+        elif isinstance(node, (ScalarSubquery, ExistsExpr, InExpr)):
+            safe = False
+        elif isinstance(node, (Arith, Comparison)):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryMinus):
+            visit(node.operand)
+        elif isinstance(node, BetweenExpr):
+            visit(node.operand)
+            visit(node.low)
+            visit(node.high)
+        elif isinstance(node, BoolOp):
+            for operand in node.operands:
+                visit(operand)
+        elif isinstance(node, Not):
+            visit(node.operand)
+
+    visit(expr)
+    return touched if safe else None
+
+
+def _build_from_where(
+    bound: BoundQuery,
+    db: Database,
+    query: SelectQuery,
+    outer_scope: Optional[_Scope],
+):
+    """Build the join+filter plan for one query level.
+
+    Returns ``(plan, scope, compiler)``.
+    """
+    compiler = _Compiler(bound, db)
+    bindings = [t.binding.lower() for t in query.tables]
+    binding_set = set(bindings)
+
+    # Per-table scans and column positions.
+    positions: dict[tuple[str, str], int] = {}
+    table_columns: dict[str, list[str]] = {}
+    offset = 0
+    for table_ref in query.tables:
+        relation = bound.catalog.get(table_ref.name)
+        binding = table_ref.binding.lower()
+        cols = [c.name.lower() for c in relation.columns]
+        table_columns[binding] = cols
+        for i, col in enumerate(cols):
+            positions[(binding, col)] = offset + i
+        offset += len(cols)
+    scope = _Scope(positions, parent=outer_scope)
+
+    conjuncts = _split_conjuncts(query.where)
+    single_table: dict[str, list] = {b: [] for b in bindings}
+    equijoins: list[tuple[str, str, ColumnRef, ColumnRef]] = []
+    residual: list = []
+    for conjunct in conjuncts:
+        touched = _tables_of(conjunct, bound, binding_set)
+        if touched is None:
+            residual.append(conjunct)
+        elif len(touched) == 1:
+            single_table[next(iter(touched))].append(conjunct)
+        elif (
+            len(touched) == 2
+            and isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            lres = bound.resolve(conjunct.left)
+            rres = bound.resolve(conjunct.right)
+            equijoins.append(
+                (lres.binding, rres.binding, conjunct.left, conjunct.right)
+            )
+        else:
+            residual.append(conjunct)
+
+    # Scans with pushed-down filters, each with a *local* scope so the
+    # predicate sees the single table's row layout.
+    plans: dict[str, PlanNode] = {}
+    plan_schema: dict[str, list[str]] = {}  # binding -> ordered binding list
+    for table_ref in query.tables:
+        binding = table_ref.binding.lower()
+        node: PlanNode = ScanNode(db.table(table_ref.name), binding)
+        if single_table[binding]:
+            local_positions = {
+                (binding, col): i for i, col in enumerate(table_columns[binding])
+            }
+            local_scope = _Scope(local_positions, parent=outer_scope)
+            predicates = [
+                compiler.predicate(c, local_scope) for c in single_table[binding]
+            ]
+
+            def combined(row, env, _preds=tuple(predicates)):
+                return all(p(row, env) for p in _preds)
+
+            node = FilterNode(node, combined, label=f"{binding} filters")
+        plans[binding] = node
+        plan_schema[binding] = [binding]
+
+    # Greedy hash-join composition over the equijoin graph.
+    def component_of(binding: str) -> str:
+        # The representative is the first binding in the composed plan.
+        for representative, members in plan_schema.items():
+            if binding in members:
+                return representative
+        raise CompilationError(f"lost binding {binding}")
+
+    def layout_positions(members: list[str]) -> dict[tuple[str, str], int]:
+        out: dict[tuple[str, str], int] = {}
+        offset = 0
+        for member in members:
+            for i, col in enumerate(table_columns[member]):
+                out[(member, col)] = offset + i
+            offset += len(table_columns[member])
+        return out
+
+    for lbind, rbind, lref, rref in equijoins:
+        lrep, rrep = component_of(lbind), component_of(rbind)
+        if lrep == rrep:
+            # Both sides already joined: apply as a filter on the component.
+            members = plan_schema[lrep]
+            comp_scope = _Scope(layout_positions(members), parent=outer_scope)
+            lres, rres = bound.resolve(lref), bound.resolve(rref)
+            lpos = comp_scope.positions[(lres.binding, lres.column.lower())]
+            rpos = comp_scope.positions[(rres.binding, rres.column.lower())]
+            plans[lrep] = FilterNode(
+                plans[lrep],
+                lambda row, env, _l=lpos, _r=rpos: row[_l] == row[_r],
+                label="join-cycle",
+            )
+            continue
+        lres, rres = bound.resolve(lref), bound.resolve(rref)
+        lmembers, rmembers = plan_schema[lrep], plan_schema[rrep]
+        lpos = layout_positions(lmembers)[(lres.binding, lres.column.lower())]
+        rpos = layout_positions(rmembers)[(rres.binding, rres.column.lower())]
+        joined = HashJoinNode(
+            plans[lrep],
+            plans[rrep],
+            left_key=lambda row, _p=lpos: (row[_p],),
+            right_key=lambda row, _p=rpos: (row[_p],),
+        )
+        plans[lrep] = joined
+        plan_schema[lrep] = lmembers + rmembers
+        del plans[rrep]
+        del plan_schema[rrep]
+
+    # Cross products for any disconnected components, in binding order.
+    representatives = list(plans)
+    plan = plans[representatives[0]]
+    members = plan_schema[representatives[0]]
+    for representative in representatives[1:]:
+        plan = CrossNode(plan, plans[representative])
+        members = members + plan_schema[representative]
+
+    # The final row layout may differ from declaration order; rebuild the
+    # scope to match the actual composed layout.
+    scope = _Scope(layout_positions(members), parent=outer_scope)
+
+    if residual:
+        predicates = [compiler.predicate(c, scope) for c in residual]
+
+        def all_residual(row, env, _preds=tuple(predicates)):
+            return all(p(row, env) for p in _preds)
+
+        plan = FilterNode(plan, all_residual, label="residual")
+
+    return plan, scope, compiler
+
+
+def execute_query(bound: BoundQuery, db: Database) -> list[tuple]:
+    """Run a bound query from scratch; rows match the delta engines' shape
+    (one value per select item, groups sorted by repr)."""
+    query = bound.query
+    plan, scope, compiler = _build_from_where(bound, db, query, None)
+
+    group_fns = [
+        compiler.scalar(col, scope) for col in query.group_by
+    ]
+
+    # One accumulator per distinct aggregate call (by identity).
+    agg_calls: list[AggregateCall] = []
+    for info in bound.item_info:
+        agg_calls.extend(info.aggregates)
+    value_fns: list[Optional[ValueFn]] = []
+    for call in agg_calls:
+        if isinstance(call.argument, Star):
+            value_fns.append(None)
+        else:
+            value_fns.append(compiler.scalar(call.argument, scope))
+
+    groups: dict[tuple, list] = {}
+    for row, mult in plan.rows(()):
+        key = tuple(fn(row, ()) for fn in group_fns)
+        state = groups.get(key)
+        if state is None:
+            state = [_new_agg_state(call) for call in agg_calls]
+            groups[key] = state
+        for index, call in enumerate(agg_calls):
+            _update_agg_state(
+                state[index],
+                call,
+                None if value_fns[index] is None else value_fns[index](row, ()),
+                mult,
+            )
+
+    if not query.group_by and not groups:
+        groups[()] = [_new_agg_state(call) for call in agg_calls]
+
+    results = []
+    # Group columns are identified by (binding, column): two group-by
+    # columns may share a name (e.g. n1.n_name and n2.n_name).
+    group_keys = [
+        (bound.resolve(col).binding, bound.resolve(col).column.lower())
+        for col in query.group_by
+    ]
+    for key in sorted(groups, key=repr):
+        agg_values = {
+            id(call): _finish_agg_state(state, call)
+            for call, state in zip(agg_calls, groups[key])
+        }
+        row_values = []
+        for info, item in zip(bound.item_info, query.items):
+            if not info.is_aggregate:
+                resolution = bound.resolve(item.expr)
+                index = group_keys.index(
+                    (resolution.binding, resolution.column.lower())
+                )
+                row_values.append(key[index])
+            else:
+                row_values.append(_eval_item(item.expr, agg_values))
+        results.append(tuple(row_values))
+    return results
+
+
+def _new_agg_state(call: AggregateCall):
+    if call.func in ("SUM", "COUNT"):
+        return [0]
+    if call.func == "AVG":
+        return [0, 0]
+    return [None]  # MIN / MAX
+
+
+def _update_agg_state(state, call: AggregateCall, value, mult: int) -> None:
+    if call.func == "COUNT":
+        state[0] += mult
+    elif call.func == "SUM":
+        state[0] += value * mult
+    elif call.func == "AVG":
+        state[0] += value * mult
+        state[1] += mult
+    elif call.func == "MIN":
+        if state[0] is None or value < state[0]:
+            state[0] = value
+    elif call.func == "MAX":
+        if state[0] is None or value > state[0]:
+            state[0] = value
+
+
+def _finish_agg_state(state, call: AggregateCall):
+    if call.func == "AVG":
+        return 0 if state[1] == 0 else state[0] / state[1]
+    if call.func in ("MIN", "MAX"):
+        return 0 if state[0] is None else state[0]
+    return state[0]
+
+
+def _eval_item(expr, agg_values: dict[int, object]):
+    if isinstance(expr, AggregateCall):
+        return agg_values[id(expr)]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryMinus):
+        return -_eval_item(expr.operand, agg_values)
+    if isinstance(expr, Arith):
+        left = _eval_item(expr.left, agg_values)
+        right = _eval_item(expr.right, agg_values)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return 0 if right == 0 else left / right
+    raise CompilationError(f"unsupported select item {expr!r}")

@@ -1,0 +1,131 @@
+"""Iterator-model plan operators.
+
+Every node produces ``(row, multiplicity)`` pairs on demand.  ``env`` is the
+stack of outer rows (innermost first) for correlated subquery evaluation;
+the planner resolves each correlated column to a (level, position) pair at
+plan-build time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.interpreter.relations import Table
+
+Row = tuple
+Env = tuple  # stack of outer rows, innermost first
+RowIter = Iterator[tuple[Row, int]]
+
+
+class PlanNode:
+    """Base class: a pull-based row producer."""
+
+    def rows(self, env: Env) -> RowIter:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+
+class ScanNode(PlanNode):
+    """Full scan of a base table."""
+
+    def __init__(self, table: Table, binding: str) -> None:
+        self.table = table
+        self.binding = binding
+
+    def rows(self, env: Env) -> RowIter:
+        yield from self.table.scan()
+
+    def describe(self) -> str:
+        return f"Scan({self.table.relation.name} as {self.binding})"
+
+
+class FilterNode(PlanNode):
+    """Applies a compiled predicate to each row."""
+
+    def __init__(
+        self, child: PlanNode, predicate: Callable[[Row, Env], bool], label: str = ""
+    ) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+
+    def rows(self, env: Env) -> RowIter:
+        predicate = self.predicate
+        for row, mult in self.child.rows(env):
+            if predicate(row, env):
+                yield row, mult
+
+    def describe(self) -> str:
+        return f"Filter({self.label})" if self.label else "Filter"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class HashJoinNode(PlanNode):
+    """Equi-join; builds a hash table on the right child per execution.
+
+    Rebuilding per execution is intentional: the re-evaluation baseline
+    models a DBMS executing the standing query from scratch on each refresh.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: Callable[[Row], tuple],
+        right_key: Callable[[Row], tuple],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def rows(self, env: Env) -> RowIter:
+        build: dict[tuple, list[tuple[Row, int]]] = {}
+        for row, mult in self.right.rows(env):
+            build.setdefault(self.right_key(row), []).append((row, mult))
+        for lrow, lmult in self.left.rows(env):
+            matches = build.get(self.left_key(lrow))
+            if not matches:
+                continue
+            for rrow, rmult in matches:
+                yield lrow + rrow, lmult * rmult
+
+    def describe(self) -> str:
+        return "HashJoin"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+class CrossNode(PlanNode):
+    """Cartesian product (for disconnected join graphs)."""
+
+    def __init__(self, left: PlanNode, right: PlanNode) -> None:
+        self.left = left
+        self.right = right
+
+    def rows(self, env: Env) -> RowIter:
+        right_rows = list(self.right.rows(env))
+        for lrow, lmult in self.left.rows(env):
+            for rrow, rmult in right_rows:
+                yield lrow + rrow, lmult * rmult
+
+    def describe(self) -> str:
+        return "CrossProduct"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)

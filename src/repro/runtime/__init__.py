@@ -1,0 +1,29 @@
+"""Runtime: event model, map storage, engines, views, sources and tooling.
+
+The runtime executes a :class:`~repro.compiler.program.CompiledProgram`:
+
+* :class:`~repro.runtime.engine.DeltaEngine` — the main-memory engine, in
+  either *compiled* mode (generated Python trigger functions, the stand-in
+  for the paper's C++ path) or *interpreted* mode (the statement walker,
+  used as the interpreter-overhead ablation);
+* :mod:`~repro.runtime.views` — renders SQL-visible results from the
+  maintained maps (avg division, min/max extraction, group existence);
+* :mod:`~repro.runtime.sources` — stream adapters (lists, files, generators)
+  for standalone mode;
+* :mod:`~repro.runtime.debugger` / :mod:`~repro.runtime.profiler` — the
+  demo's step-tracing and per-map profiling tools.
+"""
+
+from repro.runtime.events import StreamEvent, insert, delete, update
+from repro.runtime.engine import DeltaEngine
+from repro.runtime.views import query_results, result_rows_to_dicts
+
+__all__ = [
+    "StreamEvent",
+    "insert",
+    "delete",
+    "update",
+    "DeltaEngine",
+    "query_results",
+    "result_rows_to_dicts",
+]

@@ -1,0 +1,63 @@
+"""The update-stream event model.
+
+Per the paper's data model, a database is a set of relations each subject to
+an arbitrary sequence of inserts, updates and deletes — *not* windowed
+streams.  An update is represented as a delete of the old tuple followed by
+an insert of the new one (the paper makes the same reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import EventError
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """A single-tuple insert (+1) or delete (-1) on a base relation."""
+
+    relation: str
+    sign: int
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise EventError(f"event sign must be +1 or -1, got {self.sign!r}")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.sign == 1
+
+    def __repr__(self) -> str:
+        symbol = "+" if self.sign == 1 else "-"
+        return f"{symbol}{self.relation}{self.values!r}"
+
+
+def insert(relation: str, *values) -> StreamEvent:
+    """An insert event."""
+    return StreamEvent(relation, 1, tuple(values))
+
+
+def delete(relation: str, *values) -> StreamEvent:
+    """A delete event (of one previously inserted tuple)."""
+    return StreamEvent(relation, -1, tuple(values))
+
+
+def update(relation: str, old: Sequence, new: Sequence) -> tuple[StreamEvent, StreamEvent]:
+    """An update, expressed as the paper's delete+insert pair."""
+    return (
+        StreamEvent(relation, -1, tuple(old)),
+        StreamEvent(relation, 1, tuple(new)),
+    )
+
+
+def flatten(events: Iterable) -> Iterator[StreamEvent]:
+    """Flatten a stream that may contain update pairs (tuples of events)."""
+    for item in events:
+        if isinstance(item, StreamEvent):
+            yield item
+        else:
+            for sub in item:
+                yield sub

@@ -1,0 +1,134 @@
+"""Profiling: per-trigger timing, per-map update counts, memory estimates.
+
+This reproduces the paper's demo readouts (Figure 4): "detailed profiling of
+DBToaster's compiled code breaking down its overheads for each map, the
+binary size, and finally the compile time".  Cache counters are not
+observable from Python, so the profiler reports the architecture-level
+drivers instead: statement/update counts and live map entries/bytes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.compiler.program import CompiledProgram
+
+
+@dataclass
+class Profiler:
+    """Collects event, statement and map-update statistics."""
+
+    events: int = 0
+    events_by_trigger: dict[str, int] = field(default_factory=dict)
+    statement_runs: dict[str, int] = field(default_factory=dict)
+    map_updates: dict[str, int] = field(default_factory=dict)
+
+    def record_event(self, event) -> None:
+        self.events += 1
+        key = f"{'+' if event.sign == 1 else '-'}{event.relation}"
+        self.events_by_trigger[key] = self.events_by_trigger.get(key, 0) + 1
+
+    def record_statement(self, target_map: str, updates: int) -> None:
+        self.statement_runs[target_map] = self.statement_runs.get(target_map, 0) + 1
+        self.map_updates[target_map] = self.map_updates.get(target_map, 0) + updates
+
+    def report(self) -> str:
+        lines = [f"events processed: {self.events}"]
+        for key in sorted(self.events_by_trigger):
+            lines.append(f"  {key}: {self.events_by_trigger[key]}")
+        if self.map_updates:
+            lines.append("map update counts:")
+            for name in sorted(self.map_updates):
+                lines.append(
+                    f"  {name}: {self.map_updates[name]} updates over "
+                    f"{self.statement_runs[name]} statement runs"
+                )
+        return "\n".join(lines)
+
+
+def map_memory_bytes(maps: Mapping[str, Mapping]) -> dict[str, int]:
+    """Approximate live bytes per map (keys + values + dict overhead)."""
+    sizes: dict[str, int] = {}
+    for name, contents in maps.items():
+        total = sys.getsizeof(contents)
+        for key, value in contents.items():
+            total += sys.getsizeof(key) + sys.getsizeof(value)
+            if isinstance(key, tuple):
+                total += sum(sys.getsizeof(part) for part in key)
+        sizes[name] = total
+    return sizes
+
+
+def total_memory_bytes(maps: Mapping[str, Mapping]) -> int:
+    return sum(map_memory_bytes(maps).values())
+
+
+@dataclass
+class CompileReport:
+    """Timing and size breakdown of the compilation pipeline (Figure 4)."""
+
+    parse_seconds: float
+    compile_seconds: float
+    codegen_seconds: float
+    exec_seconds: float
+    map_count: int
+    statement_count: int
+    python_source_bytes: int
+    cpp_source_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.parse_seconds
+            + self.compile_seconds
+            + self.codegen_seconds
+            + self.exec_seconds
+        )
+
+    def report(self) -> str:
+        return "\n".join(
+            [
+                f"parse+bind+translate: {self.parse_seconds * 1e3:8.2f} ms",
+                f"recursive compile:    {self.compile_seconds * 1e3:8.2f} ms",
+                f"code generation:      {self.codegen_seconds * 1e3:8.2f} ms",
+                f"exec (to bytecode):   {self.exec_seconds * 1e3:8.2f} ms",
+                f"total:                {self.total_seconds * 1e3:8.2f} ms",
+                f"maps: {self.map_count}   trigger statements: {self.statement_count}",
+                f"generated Python: {self.python_source_bytes} bytes   "
+                f"generated C++: {self.cpp_source_bytes} bytes",
+            ]
+        )
+
+
+def profile_compilation(sql: str, catalog, name: str = "q") -> CompileReport:
+    """Compile a query while timing each pipeline stage."""
+    from repro.algebra.translate import translate_sql
+    from repro.compiler.compile import compile_queries
+    from repro.codegen.cppgen import generate_cpp
+    from repro.codegen.pygen import CompiledExecutor, generate_module
+
+    t0 = time.perf_counter()
+    translated = translate_sql(sql, catalog, name=name)
+    t1 = time.perf_counter()
+    program = compile_queries([translated], catalog)
+    t2 = time.perf_counter()
+    python_source = generate_module(program)
+    cpp_source = generate_cpp(program)
+    t3 = time.perf_counter()
+    executor = CompiledExecutor(program)
+    executor.bind({name: {} for name in program.maps})
+    t4 = time.perf_counter()
+
+    return CompileReport(
+        parse_seconds=t1 - t0,
+        compile_seconds=t2 - t1,
+        codegen_seconds=t3 - t2,
+        exec_seconds=t4 - t3,
+        map_count=len(program.maps),
+        statement_count=program.statements_count(),
+        python_source_bytes=len(python_source.encode()),
+        cpp_source_bytes=len(cpp_source.encode()),
+    )

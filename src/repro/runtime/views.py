@@ -1,0 +1,125 @@
+"""The view layer: rendering SQL-visible results from maintained maps.
+
+A query's result rows are derived from its aggregate-slot maps:
+
+* group existence comes from the count slot (a group exists while its row
+  count is non-zero — exact under deletions);
+* ``sum``/``count`` slots read the map value directly (absent key = 0);
+* ``avg`` items divide their two slots;
+* ``min``/``max`` slots scan their occurrence map (group key + value ->
+  multiplicity) and take the extreme value present.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import RuntimeEngineError
+from repro.algebra.translate import AggregateSpec, TranslatedQuery, eval_result
+from repro.compiler.program import CompiledProgram
+
+
+def query_results(
+    program: CompiledProgram,
+    maps: Mapping[str, Mapping],
+    query_name: Optional[str] = None,
+) -> list[tuple]:
+    """Result rows (group columns then item columns) for one query.
+
+    With a single registered query ``query_name`` may be omitted.
+    """
+    query = _find_query(program, query_name)
+    slot_names = program.slot_maps[query.name]
+    slot_contents = [maps[name] for name in slot_names]
+
+    if not query.is_grouped:
+        slot_values = [
+            _slot_value(spec, contents, group_key=())
+            for spec, contents in zip(query.aggregates, slot_contents)
+        ]
+        row = tuple(
+            eval_result(item.result, (), slot_values) for item in query.items
+        )
+        return [row]
+
+    group_keys = _live_groups(query, slot_contents)
+    minmax_cache = [
+        _extreme_by_group(spec, contents)
+        if spec.kind in ("min", "max")
+        else None
+        for spec, contents in zip(query.aggregates, slot_contents)
+    ]
+    rows: list[tuple] = []
+    for key in sorted(group_keys, key=repr):
+        slot_values = []
+        for spec, contents, cache in zip(
+            query.aggregates, slot_contents, minmax_cache
+        ):
+            if cache is not None:
+                slot_values.append(cache.get(key, 0))
+            else:
+                slot_values.append(contents.get(key, 0))
+        rows.append(
+            tuple(eval_result(item.result, key, slot_values) for item in query.items)
+        )
+    return rows
+
+
+def result_rows_to_dicts(query: TranslatedQuery, rows: list[tuple]) -> list[dict]:
+    """Rows as dictionaries keyed by the query's output column names."""
+    names = query.column_names
+    return [dict(zip(names, row)) for row in rows]
+
+
+def _find_query(program: CompiledProgram, name: Optional[str]) -> TranslatedQuery:
+    if name is None:
+        if len(program.queries) != 1:
+            raise RuntimeEngineError(
+                "query_name is required when multiple queries are registered"
+            )
+        return program.queries[0]
+    for query in program.queries:
+        if query.name == name:
+            return query
+    raise RuntimeEngineError(f"unknown query {name!r}")
+
+
+def _slot_value(spec: AggregateSpec, contents: Mapping, group_key: tuple):
+    if spec.kind == "sum":
+        return contents.get(group_key, 0)
+    return _extreme_by_group(spec, contents).get(group_key, 0)
+
+
+def _live_groups(query: TranslatedQuery, slot_contents: list[Mapping]) -> set:
+    """Group keys with at least one underlying row."""
+    if query.count_slot is not None:
+        count_map = slot_contents[query.count_slot]
+        return {key for key, value in count_map.items() if value != 0}
+    # Without a count slot (only possible when every slot is min/max),
+    # groups come from occurrence-map prefixes.
+    groups: set = set()
+    for spec, contents in zip(query.aggregates, slot_contents):
+        if spec.kind in ("min", "max"):
+            width = len(spec.group_vars)
+            groups.update(k[:width] for k, v in contents.items() if v != 0)
+        else:
+            groups.update(k for k, v in contents.items() if v != 0)
+    return groups
+
+
+def _extreme_by_group(spec: AggregateSpec, contents: Mapping) -> dict:
+    """Per-group min/max from an occurrence map keyed (group..., value)."""
+    best: dict = {}
+    take_min = spec.kind == "min"
+    for key, count in contents.items():
+        if count == 0:
+            continue
+        group, value = key[:-1], key[-1]
+        if group not in best:
+            best[group] = value
+        elif take_min:
+            if value < best[group]:
+                best[group] = value
+        elif value > best[group]:
+            best[group] = value
+    return best

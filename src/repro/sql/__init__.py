@@ -1,0 +1,27 @@
+"""SQL front end: lexer, parser, catalog and binder.
+
+The dialect covers what the paper's compiler accepts: select-project-join
+queries over streams/tables with the standard aggregates (``sum``, ``count``,
+``avg``, ``min``, ``max``), ``GROUP BY``, arithmetic, boolean predicates,
+scalar subqueries, ``EXISTS``/``IN`` subqueries and nested aggregates.  DDL
+(``CREATE TABLE`` / ``CREATE STREAM``) populates the catalog that queries
+are bound against.
+"""
+
+from repro.sql.catalog import Catalog, Column, Relation, SqlType
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_query, parse_script, parse_statement
+from repro.sql.binder import bind_query, BoundQuery
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Relation",
+    "SqlType",
+    "tokenize",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+    "bind_query",
+    "BoundQuery",
+]

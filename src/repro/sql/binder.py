@@ -1,0 +1,421 @@
+"""Name resolution and semantic validation of parsed queries.
+
+The binder checks a :class:`~repro.sql.ast.SelectQuery` against a
+:class:`~repro.sql.catalog.Catalog` and produces a :class:`BoundQuery`:
+
+* every column reference is resolved to (table binding, relation, column),
+  walking outward through enclosing query scopes for correlated subqueries;
+* expression types are inferred and comparison/arithmetic operands checked;
+* select items are classified as group-by columns or aggregate expressions,
+  and the standard GROUP BY discipline is enforced.
+
+Resolutions are keyed by node identity (``id``) because the immutable AST
+uses structural equality; the translator walks the same node objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BindError
+from repro.sql.ast import (
+    AggregateCall,
+    Arith,
+    BetweenExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ExistsExpr,
+    InExpr,
+    Literal,
+    Not,
+    ScalarSubquery,
+    SelectQuery,
+    SqlExpr,
+    Star,
+    UnaryMinus,
+)
+from repro.sql.catalog import Catalog, Relation, SqlType
+
+_NUMERIC_FUNCS = ("SUM", "AVG")
+_ORDERED_FUNCS = ("MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class ColumnResolution:
+    """Where a column reference points."""
+
+    binding: str  # the FROM-clause alias (or table name)
+    relation: Relation
+    column: str  # canonical column name as declared
+    type: SqlType
+    depth: int  # 0 = current query, 1 = immediately enclosing query, ...
+
+
+@dataclass
+class _Scope:
+    query: SelectQuery
+    bindings: dict[str, Relation]
+    parent: Optional["_Scope"] = None
+
+
+@dataclass
+class SelectItemInfo:
+    """Classification of one select item."""
+
+    name: str
+    expr: SqlExpr
+    is_aggregate: bool
+    aggregates: list[AggregateCall] = field(default_factory=list)
+
+
+@dataclass
+class BoundQuery:
+    """A validated query plus every annotation the translator needs."""
+
+    query: SelectQuery
+    catalog: Catalog
+    resolutions: dict[int, ColumnResolution]
+    item_info: list[SelectItemInfo]
+    group_names: list[str]
+    relations_used: set[str]
+    subquery_scopes: dict[int, "BoundQuery"] = field(default_factory=dict)
+
+    def resolve(self, node: ColumnRef) -> ColumnResolution:
+        try:
+            return self.resolutions[id(node)]
+        except KeyError:  # pragma: no cover - indicates a binder bug
+            raise BindError(f"column {node!r} was never bound") from None
+
+
+def bind_query(query: SelectQuery, catalog: Catalog) -> BoundQuery:
+    """Bind and validate ``query`` against ``catalog``."""
+    binder = _Binder(catalog)
+    return binder.bind(query, parent=None)
+
+
+class _Binder:
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.resolutions: dict[int, ColumnResolution] = {}
+        self.relations_used: set[str] = set()
+
+    def bind(self, query: SelectQuery, parent: Optional[_Scope]) -> BoundQuery:
+        scope = self._build_scope(query, parent)
+
+        if query.where is not None:
+            where_type = self._type_of(query.where, scope, allow_aggregates=False)
+            if where_type is not _BOOL:
+                raise BindError("WHERE clause must be a boolean predicate")
+
+        group_names: list[str] = []
+        group_keys: set[tuple[str, str]] = set()
+        for col in query.group_by:
+            resolution = self._resolve_column(col, scope)
+            group_names.append(col.column.lower())
+            group_keys.add((resolution.binding, resolution.column.lower()))
+
+        item_info: list[SelectItemInfo] = []
+        for index, item in enumerate(query.items):
+            aggregates = _collect_aggregates(item.expr)
+            is_aggregate = bool(aggregates)
+            self._type_of(item.expr, scope, allow_aggregates=True)
+            if is_aggregate:
+                _reject_aggregate_of_aggregate(aggregates)
+            else:
+                if not isinstance(item.expr, ColumnRef):
+                    raise BindError(
+                        "non-aggregate select items must be plain group-by "
+                        f"columns, got {item.expr!r}"
+                    )
+                resolution = self.resolutions[id(item.expr)]
+                key = (resolution.binding, resolution.column.lower())
+                if key not in group_keys:
+                    raise BindError(
+                        f"select item {item.expr!r} is not in the GROUP BY clause"
+                    )
+            name = item.alias or _default_item_name(item.expr, index)
+            item_info.append(
+                SelectItemInfo(
+                    name=name,
+                    expr=item.expr,
+                    is_aggregate=is_aggregate,
+                    aggregates=aggregates,
+                )
+            )
+
+        if not any(info.is_aggregate for info in item_info):
+            raise BindError(
+                "standing queries must compute at least one aggregate "
+                "(the paper's data model maintains aggregate views)"
+            )
+
+        return BoundQuery(
+            query=query,
+            catalog=self.catalog,
+            resolutions=self.resolutions,
+            item_info=item_info,
+            group_names=group_names,
+            relations_used=set(self.relations_used),
+        )
+
+    # -- scopes ---------------------------------------------------------
+
+    def _build_scope(self, query: SelectQuery, parent: Optional[_Scope]) -> _Scope:
+        bindings: dict[str, Relation] = {}
+        for table in query.tables:
+            relation = self.catalog.get(table.name)
+            binding = table.binding.lower()
+            if binding in bindings:
+                raise BindError(f"duplicate table binding {table.binding!r}")
+            bindings[binding] = relation
+            self.relations_used.add(relation.name)
+        return _Scope(query=query, bindings=bindings, parent=parent)
+
+    def _resolve_column(self, node: ColumnRef, scope: _Scope) -> ColumnResolution:
+        existing = self.resolutions.get(id(node))
+        if existing is not None:
+            return existing
+        depth = 0
+        current: Optional[_Scope] = scope
+        while current is not None:
+            resolution = self._resolve_in_scope(node, current, depth)
+            if resolution is not None:
+                self.resolutions[id(node)] = resolution
+                return resolution
+            current = current.parent
+            depth += 1
+        raise BindError(f"unknown column {node!r}")
+
+    def _resolve_in_scope(
+        self, node: ColumnRef, scope: _Scope, depth: int
+    ) -> Optional[ColumnResolution]:
+        if node.table is not None:
+            relation = scope.bindings.get(node.table.lower())
+            if relation is None:
+                return None
+            if not relation.has_column(node.column):
+                raise BindError(
+                    f"relation {relation.name!r} (bound as {node.table!r}) has "
+                    f"no column {node.column!r}"
+                )
+            column = relation.column(node.column)
+            return ColumnResolution(
+                binding=node.table.lower(),
+                relation=relation,
+                column=column.name,
+                type=column.type,
+                depth=depth,
+            )
+        matches = [
+            (binding, relation)
+            for binding, relation in scope.bindings.items()
+            if relation.has_column(node.column)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {node.column!r}")
+        binding, relation = matches[0]
+        column = relation.column(node.column)
+        return ColumnResolution(
+            binding=binding,
+            relation=relation,
+            column=column.name,
+            type=column.type,
+            depth=depth,
+        )
+
+    # -- typing -----------------------------------------------------------
+
+    def _type_of(self, expr: SqlExpr, scope: _Scope, allow_aggregates: bool):
+        if isinstance(expr, Literal):
+            if isinstance(expr.value, str):
+                return SqlType.STRING
+            if isinstance(expr.value, int):
+                return SqlType.INT
+            return SqlType.FLOAT
+
+        if isinstance(expr, ColumnRef):
+            return self._resolve_column(expr, scope).type
+
+        if isinstance(expr, Star):
+            raise BindError("'*' is only valid inside count(*)")
+
+        if isinstance(expr, UnaryMinus):
+            operand = self._type_of(expr.operand, scope, allow_aggregates)
+            _require_numeric(operand, "unary minus")
+            return operand
+
+        if isinstance(expr, Arith):
+            left = self._type_of(expr.left, scope, allow_aggregates)
+            right = self._type_of(expr.right, scope, allow_aggregates)
+            _require_numeric(left, f"'{expr.op}'")
+            _require_numeric(right, f"'{expr.op}'")
+            if expr.op == "/":
+                return SqlType.FLOAT
+            if SqlType.FLOAT in (left, right):
+                return SqlType.FLOAT
+            return SqlType.INT
+
+        if isinstance(expr, Comparison):
+            left = self._type_of(expr.left, scope, allow_aggregates=False)
+            right = self._type_of(expr.right, scope, allow_aggregates=False)
+            if (left is SqlType.STRING) != (right is SqlType.STRING):
+                raise BindError(
+                    f"cannot compare {left.value} with {right.value} in {expr!r}"
+                )
+            if expr.op not in ("=", "!=") and left is SqlType.STRING is not right:
+                pass  # string ordering comparisons are allowed (both strings)
+            return _BOOL
+
+        if isinstance(expr, BetweenExpr):
+            operand = self._type_of(expr.operand, scope, allow_aggregates=False)
+            low = self._type_of(expr.low, scope, allow_aggregates=False)
+            high = self._type_of(expr.high, scope, allow_aggregates=False)
+            for t in (operand, low, high):
+                if (t is SqlType.STRING) != (operand is SqlType.STRING):
+                    raise BindError(f"mixed types in BETWEEN: {expr!r}")
+            return _BOOL
+
+        if isinstance(expr, (BoolOp, Not)):
+            operands = expr.operands if isinstance(expr, BoolOp) else (expr.operand,)
+            for operand in operands:
+                if self._type_of(operand, scope, allow_aggregates=False) is not _BOOL:
+                    raise BindError(f"expected a boolean operand in {expr!r}")
+            return _BOOL
+
+        if isinstance(expr, AggregateCall):
+            if not allow_aggregates:
+                raise BindError(
+                    f"aggregate {expr!r} is only allowed in the SELECT list; "
+                    "use a scalar subquery inside predicates"
+                )
+            if isinstance(expr.argument, Star):
+                if expr.func != "COUNT":
+                    raise BindError(f"'*' is only valid inside count(*), not {expr.func}")
+                return SqlType.INT
+            arg_type = self._type_of(expr.argument, scope, allow_aggregates=False)
+            if expr.func in _NUMERIC_FUNCS:
+                _require_numeric(arg_type, expr.func.lower())
+            if expr.func == "COUNT":
+                return SqlType.INT
+            if expr.func == "AVG" or arg_type is SqlType.FLOAT:
+                return SqlType.FLOAT
+            return arg_type
+
+        if isinstance(expr, ScalarSubquery):
+            bound = self._bind_subquery(expr.query, scope)
+            if len(bound.item_info) != 1 or not bound.item_info[0].is_aggregate:
+                raise BindError(
+                    "scalar subqueries must select exactly one aggregate"
+                )
+            if bound.query.group_by:
+                raise BindError("scalar subqueries must not use GROUP BY")
+            return SqlType.FLOAT
+
+        if isinstance(expr, ExistsExpr):
+            self._bind_subquery(expr.query, scope, allow_bare=True)
+            return _BOOL
+
+        if isinstance(expr, InExpr):
+            self._type_of(expr.needle, scope, allow_aggregates=False)
+            bound = self._bind_subquery(expr.query, scope, allow_bare=True)
+            if len(bound.query.items) != 1:
+                raise BindError("IN subqueries must select exactly one column")
+            return _BOOL
+
+        raise BindError(f"unsupported expression {type(expr).__name__}")
+
+    def _bind_subquery(
+        self, query: SelectQuery, scope: _Scope, allow_bare: bool = False
+    ) -> BoundQuery:
+        sub_binder = _Binder(self.catalog)
+        sub_binder.resolutions = self.resolutions  # shared resolution table
+        sub_binder.relations_used = self.relations_used
+        if allow_bare:
+            bound = sub_binder.bind_bare(query, parent=scope)
+        else:
+            bound = sub_binder.bind(query, parent=scope)
+        return bound
+
+    def bind_bare(self, query: SelectQuery, parent: Optional[_Scope]) -> BoundQuery:
+        """Bind a subquery that need not compute aggregates (EXISTS / IN)."""
+        scope = self._build_scope(query, parent)
+        if query.where is not None:
+            if self._type_of(query.where, scope, allow_aggregates=False) is not _BOOL:
+                raise BindError("WHERE clause must be a boolean predicate")
+        item_info: list[SelectItemInfo] = []
+        for index, item in enumerate(query.items):
+            if not isinstance(item.expr, (ColumnRef, Literal, Star)):
+                self._type_of(item.expr, scope, allow_aggregates=False)
+            elif isinstance(item.expr, ColumnRef):
+                self._resolve_column(item.expr, scope)
+            name = item.alias or _default_item_name(item.expr, index)
+            item_info.append(
+                SelectItemInfo(name=name, expr=item.expr, is_aggregate=False)
+            )
+        if query.group_by:
+            raise BindError("EXISTS/IN subqueries must not use GROUP BY")
+        return BoundQuery(
+            query=query,
+            catalog=self.catalog,
+            resolutions=self.resolutions,
+            item_info=item_info,
+            group_names=[],
+            relations_used=self.relations_used,
+        )
+
+
+class _Bool:
+    """Internal marker type for boolean expressions."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "BOOL"
+
+
+_BOOL = _Bool()
+
+
+def _require_numeric(sql_type, where: str) -> None:
+    if not isinstance(sql_type, SqlType) or not sql_type.is_numeric:
+        raise BindError(f"{where} requires a numeric operand")
+
+
+def _collect_aggregates(expr: SqlExpr) -> list[AggregateCall]:
+    """Aggregate calls appearing in a select item (not inside subqueries)."""
+    found: list[AggregateCall] = []
+
+    def visit(node: SqlExpr) -> None:
+        if isinstance(node, AggregateCall):
+            found.append(node)
+            return  # nested aggregates validated separately
+        if isinstance(node, (Arith, Comparison)):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryMinus):
+            visit(node.operand)
+        elif isinstance(node, BoolOp):
+            for operand in node.operands:
+                visit(operand)
+        elif isinstance(node, Not):
+            visit(node.operand)
+
+    visit(expr)
+    return found
+
+
+def _reject_aggregate_of_aggregate(aggregates: list[AggregateCall]) -> None:
+    for agg in aggregates:
+        inner = _collect_aggregates(agg.argument)
+        if inner:
+            raise BindError(f"aggregate of aggregate is not supported: {agg!r}")
+
+
+def _default_item_name(expr: SqlExpr, index: int) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.column.lower()
+    if isinstance(expr, AggregateCall):
+        return f"{expr.func.lower()}_{index}"
+    return f"column_{index}"

@@ -1,0 +1,156 @@
+"""Hand-written SQL lexer.
+
+Handles identifiers (optionally double-quoted), integer/float literals,
+single-quoted string literals (with ``''`` escaping), operators, punctuation,
+line comments (``--``) and block comments (``/* ... */``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexerError
+from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``, appending an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < n:
+        ch = text[pos]
+
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+
+        # Comments.
+        if text.startswith("--", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", line, column())
+            for i in range(pos, end):
+                if text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+            pos = end + 2
+            continue
+
+        start_col = column()
+
+        # Numbers (integer or float; a leading dot like ".5" is supported).
+        if ch in _DIGITS or (ch == "." and pos + 1 < n and text[pos + 1] in _DIGITS):
+            start = pos
+            seen_dot = False
+            seen_exp = False
+            while pos < n:
+                c = text[pos]
+                if c in _DIGITS:
+                    pos += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    pos += 1
+                elif c in "eE" and not seen_exp and pos + 1 < n and (
+                    text[pos + 1] in _DIGITS
+                    or (text[pos + 1] in "+-" and pos + 2 < n and text[pos + 2] in _DIGITS)
+                ):
+                    seen_exp = True
+                    pos += 1
+                    if text[pos] in "+-":
+                        pos += 1
+                else:
+                    break
+            literal = text[start:pos]
+            if seen_dot or seen_exp:
+                tokens.append(Token(TokenType.FLOAT, float(literal), line, start_col))
+            else:
+                tokens.append(Token(TokenType.INTEGER, int(literal), line, start_col))
+            continue
+
+        # String literals.
+        if ch == "'":
+            pos += 1
+            chunks: list[str] = []
+            while True:
+                if pos >= n:
+                    raise LexerError("unterminated string literal", line, start_col)
+                c = text[pos]
+                if c == "'":
+                    if pos + 1 < n and text[pos + 1] == "'":
+                        chunks.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                if c == "\n":
+                    raise LexerError("newline in string literal", line, start_col)
+                chunks.append(c)
+                pos += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), line, start_col))
+            continue
+
+        # Quoted identifiers.
+        if ch == '"':
+            end = text.find('"', pos + 1)
+            if end == -1:
+                raise LexerError("unterminated quoted identifier", line, start_col)
+            tokens.append(
+                Token(TokenType.IDENTIFIER, text[pos + 1 : end], line, start_col)
+            )
+            pos = end + 1
+            continue
+
+        # Identifiers and keywords.
+        if ch in _IDENT_START:
+            start = pos
+            while pos < n and text[pos] in _IDENT_CONT:
+                pos += 1
+            word = text[start:pos]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, line, start_col))
+            continue
+
+        # Operators and punctuation.
+        for op in OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(TokenType.OPERATOR, op, line, start_col))
+                pos += len(op)
+                break
+        else:
+            if ch == ",":
+                tokens.append(Token(TokenType.COMMA, ",", line, start_col))
+            elif ch == ".":
+                tokens.append(Token(TokenType.DOT, ".", line, start_col))
+            elif ch == "(":
+                tokens.append(Token(TokenType.LPAREN, "(", line, start_col))
+            elif ch == ")":
+                tokens.append(Token(TokenType.RPAREN, ")", line, start_col))
+            elif ch == ";":
+                tokens.append(Token(TokenType.SEMICOLON, ";", line, start_col))
+            else:
+                raise LexerError(f"unexpected character {ch!r}", line, start_col)
+            pos += 1
+
+    tokens.append(Token(TokenType.EOF, None, line, column()))
+    return tokens

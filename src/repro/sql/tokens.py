@@ -1,0 +1,91 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    OPERATOR = auto()  # + - * / = <> != < <= > >=
+    COMMA = auto()
+    DOT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    SEMICOLON = auto()
+    EOF = auto()
+
+
+#: Reserved words (matched case-insensitively; stored upper-case).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "EXISTS",
+        "IN",
+        "SUM",
+        "COUNT",
+        "AVG",
+        "MIN",
+        "MAX",
+        "CREATE",
+        "TABLE",
+        "STREAM",
+        "INT",
+        "INTEGER",
+        "BIGINT",
+        "FLOAT",
+        "DOUBLE",
+        "DECIMAL",
+        "VARCHAR",
+        "CHAR",
+        "TEXT",
+        "STRING",
+        "DATE",
+        "JOIN",
+        "INNER",
+        "ON",
+        "DISTINCT",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "BETWEEN",
+        "LIST",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+    }
+)
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

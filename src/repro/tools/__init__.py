@@ -1,0 +1,10 @@
+"""Demonstration tooling: the compilation-trace visualiser and the CLI.
+
+These reproduce the demo-facing pieces of the paper: the step-by-step
+compilation visualisation (Figure 3, rendered as Figure 2's table) and the
+standalone query processor fed by archived streams.
+"""
+
+from repro.tools.trace import compilation_table
+
+__all__ = ["compilation_table"]

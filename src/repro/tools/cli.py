@@ -1,0 +1,158 @@
+"""Standalone mode: a command-line query processor.
+
+The paper's runtime "may be used as a standalone query processor accepting
+input over a network interface or archived stream".  The CLI covers the
+archived-stream path:
+
+* ``compile``  — show the compilation trace / generated code for a query;
+* ``run``      — maintain queries over a CSV event stream, print results;
+* ``bench``    — quick throughput measurement on a built-in workload.
+
+Usage examples::
+
+    python -m repro.tools.cli compile --ddl schema.sql --query "SELECT ..."
+    python -m repro.tools.cli run --ddl schema.sql --query "SELECT ..." \
+        --stream events.csv --every 1000
+    python -m repro.tools.cli bench --workload finance --events 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.codegen.cppgen import generate_cpp
+from repro.codegen.pygen import generate_module
+from repro.compiler import compile_sql
+from repro.runtime import DeltaEngine
+from repro.runtime.sources import csv_source
+from repro.sql.catalog import Catalog
+from repro.tools.trace import compilation_table, recursion_summary
+
+
+def _load_catalog(args) -> Catalog:
+    if args.ddl:
+        return Catalog.from_script(Path(args.ddl).read_text())
+    if args.schema:
+        return Catalog.from_script(args.schema)
+    raise SystemExit("either --ddl FILE or --schema 'CREATE ...' is required")
+
+
+def cmd_compile(args) -> int:
+    catalog = _load_catalog(args)
+    program = compile_sql(args.query, catalog, name="q")
+    print(program.describe())
+    print("== Figure 2 trace ==\n")
+    print(compilation_table(program))
+    print("\nmaps per recursion level:", recursion_summary(program))
+    if args.emit == "python":
+        print("\n" + generate_module(program))
+    elif args.emit == "cpp":
+        print("\n" + generate_cpp(program))
+    return 0
+
+
+def cmd_run(args) -> int:
+    catalog = _load_catalog(args)
+    program = compile_sql(args.query, catalog, name="q")
+    engine = DeltaEngine(program, mode=args.mode)
+    count = 0
+    start = time.perf_counter()
+    for event in csv_source(args.stream, catalog):
+        engine.process(event)
+        count += 1
+        if args.every and count % args.every == 0:
+            print(f"-- after {count} events --")
+            for row in engine.results("q"):
+                print("  ", row)
+    elapsed = time.perf_counter() - start
+    print(f"== final result ({count} events, "
+          f"{count / elapsed if elapsed else 0:,.0f} events/s) ==")
+    for row in engine.results("q"):
+        print("  ", row)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.workload == "finance":
+        from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+        from repro.workloads.orderbook import OrderBookGenerator
+
+        catalog = finance_catalog()
+        sql = FINANCE_QUERIES[args.query or "bsp"]
+        program = compile_sql(sql, catalog, name="q")
+        engine = DeltaEngine(program, mode=args.mode)
+        start = time.perf_counter()
+        count = engine.process_stream(OrderBookGenerator(seed=1).events(args.events))
+        elapsed = time.perf_counter() - start
+    elif args.workload == "warehouse":
+        from repro.workloads.ssb import (
+            SSB_Q41_COMBINED,
+            load_static_tables,
+            ssb_catalog,
+            warehouse_stream,
+        )
+        from repro.workloads.tpch import TpchGenerator
+
+        generator = TpchGenerator(sf=args.events / 7_500_000)
+        program = compile_sql(SSB_Q41_COMBINED, ssb_catalog(), name="q")
+        engine = DeltaEngine(program, mode=args.mode)
+        load_static_tables(engine, generator)
+        start = time.perf_counter()
+        count = engine.process_stream(warehouse_stream(generator))
+        elapsed = time.perf_counter() - start
+    else:
+        raise SystemExit(f"unknown workload {args.workload!r}")
+    print(f"{args.workload}: {count} events in {elapsed:.2f}s "
+          f"({count / elapsed:,.0f} events/s, mode={args.mode})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DBToaster-repro standalone query processor"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--ddl", help="file of CREATE TABLE/STREAM statements")
+        p.add_argument("--schema", help="inline DDL string")
+        p.add_argument("--query", required=True, help="the standing SQL query")
+
+    p_compile = sub.add_parser("compile", help="show compilation artifacts")
+    common(p_compile)
+    p_compile.add_argument(
+        "--emit", choices=["none", "python", "cpp"], default="none",
+        help="also print generated code",
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="process an archived CSV stream")
+    common(p_run)
+    p_run.add_argument("--stream", required=True, help="CSV event file")
+    p_run.add_argument("--every", type=int, default=0,
+                       help="print results every N events")
+    p_run.add_argument("--mode", choices=["compiled", "interpreted"],
+                       default="compiled")
+    p_run.set_defaults(func=cmd_run)
+
+    p_bench = sub.add_parser("bench", help="built-in workload throughput")
+    p_bench.add_argument("--workload", choices=["finance", "warehouse"],
+                         default="finance")
+    p_bench.add_argument("--query", help="finance query name (vwap/axf/...)")
+    p_bench.add_argument("--events", type=int, default=20_000)
+    p_bench.add_argument("--mode", choices=["compiled", "interpreted"],
+                         default="compiled")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The compilation trace, rendered in the format of the paper's Figure 2.
+
+Figure 2 tabulates the recursive compilation: for each recursion level and
+event, the query being compiled, the procedural code for its delta, the
+maps the code uses, and the definitions of those maps.  This module derives
+the same table from a compiled program.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.program import CompiledProgram, Statement
+
+
+def _sign_symbol(sign: int) -> str:
+    return "+" if sign == 1 else "-"
+
+
+def _short(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def compilation_rows(program: CompiledProgram) -> list[dict]:
+    """One row per (maintained map, event, statement), Figure 2's columns."""
+    rows: list[dict] = []
+    for (relation, sign), trigger in sorted(
+        program.triggers.items(), key=lambda item: (item[0][0], -item[0][1])
+    ):
+        for statement in trigger.statements:
+            target = program.maps[statement.target]
+            used = sorted(statement.reads())
+            rows.append(
+                {
+                    "level": target.level + 1,  # Figure 2 levels start at 1
+                    "event": f"{_sign_symbol(sign)}{relation}",
+                    "query": repr(target.defn),
+                    "code": repr(statement),
+                    "maps_used": used,
+                    "map_definitions": {
+                        name: repr(program.maps[name].defn) for name in used
+                    },
+                }
+            )
+    rows.sort(key=lambda r: (r["level"], r["event"]))
+    return rows
+
+
+def compilation_table(program: CompiledProgram, width: int = 46) -> str:
+    """Render the Figure 2 table as text."""
+    rows = compilation_rows(program)
+    lines = [
+        f"{'lvl':<4}{'event':<11}{'query Q to compile':<{width + 2}}"
+        f"{'code for delta-Q':<{width + 2}}maps used (definition)"
+    ]
+    lines.append("-" * (len(lines[0]) + 24))
+    for row in rows:
+        used = ", ".join(
+            f"{name} := {_short(defn, width)}"
+            for name, defn in row["map_definitions"].items()
+        ) or "(no maps)"
+        lines.append(
+            f"{row['level']:<4}{row['event']:<11}"
+            f"{_short(row['query'], width):<{width + 2}}"
+            f"{_short(row['code'], width):<{width + 2}}"
+            f"{used}"
+        )
+    return "\n".join(lines)
+
+
+def recursion_summary(program: CompiledProgram) -> dict[int, int]:
+    """Maps per recursion level (how deep the compilation went)."""
+    summary: dict[int, int] = {}
+    for map_def in program.maps.values():
+        summary[map_def.level] = summary.get(map_def.level, 0) + 1
+    return dict(sorted(summary.items()))

@@ -1,0 +1,26 @@
+"""Workloads: the paper's two demonstration applications.
+
+* :mod:`repro.workloads.orderbook` / :mod:`repro.workloads.finance` — a
+  synthetic NASDAQ TotalView-like limit order book feed and the algorithmic
+  trading query suite (VWAP, AXF, BSP, PSP, MST);
+* :mod:`repro.workloads.tpch` / :mod:`repro.workloads.ssb` — a pure-Python
+  scaled TPC-H generator and the Star Schema Benchmark warehouse-loading
+  scenario (the TPC-H -> SSB transformation composed with SSB Q4.1).
+"""
+
+from repro.workloads.orderbook import OrderBookGenerator, ORDER_BOOK_DDL
+from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+from repro.workloads.tpch import TpchGenerator, TPCH_DDL
+from repro.workloads.ssb import SSB_Q41_COMBINED, ssb_catalog, warehouse_stream
+
+__all__ = [
+    "OrderBookGenerator",
+    "ORDER_BOOK_DDL",
+    "FINANCE_QUERIES",
+    "finance_catalog",
+    "TpchGenerator",
+    "TPCH_DDL",
+    "SSB_Q41_COMBINED",
+    "ssb_catalog",
+    "warehouse_stream",
+]

@@ -1,0 +1,214 @@
+"""The warehouse-loading scenario: TPC-H -> SSB transform + SSB Q4.1.
+
+The paper emulates data warehouse loading by converting a TPC-H dataset
+into the Star Schema Benchmark's star schema (the "data integration" step)
+and evaluating SSB query 4.1 on the result.  The key point is *joint
+compilation*: composing the integration query (building ``lineorder`` from
+``lineitem``/``orders``) with the aggregation (Q4.1) lets the compiler
+maintain the final aggregate directly and never materialise the wide
+``lineorder`` intermediate.
+
+``SSB_Q41_COMBINED`` is that composed query over the TPC-H base tables:
+SSB's denormalised ``c_nation``/``c_region``/``s_region`` columns become
+joins through ``nation``/``region``, ``lo_revenue`` becomes
+``l_extendedprice * (100 - l_discount)`` (percent arithmetic kept integral),
+``lo_supplycost`` comes from ``partsupp``, and the ``d_year`` grouping joins
+the date dimension.  Facts (``orders``, ``lineitem``) stream; dimensions
+are static tables loaded up front.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.events import StreamEvent
+from repro.sql.catalog import Catalog
+from repro.workloads.tpch import TPCH_DDL, TpchGenerator
+
+#: SSB Q4.1, composed with the TPC-H -> SSB transformation.
+#: Original Q4.1:
+#:   SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit
+#:   FROM date, customer, supplier, part, lineorder
+#:   WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+#:     AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+#:     AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+#:     AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')
+#:   GROUP BY d_year, c_nation
+SSB_Q41_COMBINED = """
+SELECT d.d_year, n1.n_name, sum(l.l_extendedprice * (100 - l.l_discount) - 100 * ps.ps_supplycost)
+FROM lineitem l, orders o, customer c, supplier s, part p, partsupp ps,
+     ddate d, nation n1, region r1, nation n2, region r2
+WHERE l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND l.l_suppkey = s.s_suppkey
+  AND l.l_partkey = p.p_partkey
+  AND ps.ps_partkey = l.l_partkey AND ps.ps_suppkey = l.l_suppkey
+  AND o.o_orderdate = d.d_datekey
+  AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r1.r_regionkey
+  AND s.s_nationkey = n2.n_nationkey AND n2.n_regionkey = r2.r_regionkey
+  AND r1.r_name = 'AMERICA' AND r2.r_name = 'AMERICA'
+  AND (p.p_mfgr = 'MFGR#1' OR p.p_mfgr = 'MFGR#2')
+GROUP BY d.d_year, n1.n_name
+"""
+
+#: The materialise-then-aggregate alternative the paper contrasts with:
+#: first build the flat lineorder rows (the integration query), then run
+#: Q4.1 over them.  ``lineorder`` is what joint compilation avoids storing.
+LINEORDER_DDL = """
+CREATE STREAM lineorder (
+    lo_orderkey INT, lo_custkey INT, lo_partkey INT, lo_suppkey INT,
+    lo_orderdate INT, lo_revenue INT, lo_supplycost INT
+);
+CREATE TABLE dim_customer (dc_custkey INT, dc_nation VARCHAR(25), dc_region VARCHAR(12));
+CREATE TABLE dim_supplier (ds_suppkey INT, ds_region VARCHAR(12));
+CREATE TABLE dim_part (dp_partkey INT, dp_mfgr VARCHAR(10));
+CREATE TABLE dim_date (dd_datekey INT, dd_year INT);
+"""
+
+SSB_Q41_OVER_LINEORDER = """
+SELECT dd.dd_year, dc.dc_nation, sum(lo.lo_revenue - 100 * lo.lo_supplycost)
+FROM lineorder lo, dim_customer dc, dim_supplier ds, dim_part dp, dim_date dd
+WHERE lo.lo_custkey = dc.dc_custkey AND lo.lo_suppkey = ds.ds_suppkey
+  AND lo.lo_partkey = dp.dp_partkey AND lo.lo_orderdate = dd.dd_datekey
+  AND dc.dc_region = 'AMERICA' AND ds.ds_region = 'AMERICA'
+  AND (dp.dp_mfgr = 'MFGR#1' OR dp.dp_mfgr = 'MFGR#2')
+GROUP BY dd.dd_year, dc.dc_nation
+"""
+
+
+#: The rest of the SSB flight, composed over TPC-H the same way.  Q1.1
+#: measures revenue uplift from a discount/quantity band; Q2.1 groups
+#: revenue by year and part category for one supplier region; Q3.1 groups
+#: revenue by customer/supplier nation within a region and date range.
+SSB_Q11_COMBINED = """
+SELECT sum(l.l_extendedprice * l.l_discount)
+FROM lineitem l, orders o, ddate d
+WHERE l.l_orderkey = o.o_orderkey AND o.o_orderdate = d.d_datekey
+  AND d.d_year = 1993
+  AND l.l_discount BETWEEN 1 AND 3 AND l.l_quantity < 25
+"""
+
+SSB_Q21_COMBINED = """
+SELECT d.d_year, p.p_category, sum(l.l_extendedprice * (100 - l.l_discount))
+FROM lineitem l, orders o, part p, supplier s, ddate d, nation n, region r
+WHERE l.l_orderkey = o.o_orderkey
+  AND l.l_partkey = p.p_partkey
+  AND l.l_suppkey = s.s_suppkey
+  AND o.o_orderdate = d.d_datekey
+  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = 'AMERICA' AND p.p_mfgr = 'MFGR#1'
+GROUP BY d.d_year, p.p_category
+"""
+
+SSB_Q31_COMBINED = """
+SELECT n1.n_name, n2.n_name, d.d_year, sum(l.l_extendedprice * (100 - l.l_discount))
+FROM lineitem l, orders o, customer c, supplier s, ddate d,
+     nation n1, region r1, nation n2, region r2
+WHERE l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND l.l_suppkey = s.s_suppkey
+  AND o.o_orderdate = d.d_datekey
+  AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r1.r_regionkey
+  AND s.s_nationkey = n2.n_nationkey AND n2.n_regionkey = r2.r_regionkey
+  AND r1.r_name = 'ASIA' AND r2.r_name = 'ASIA'
+  AND d.d_year >= 1992 AND d.d_year <= 1997
+GROUP BY n1.n_name, n2.n_name, d.d_year
+"""
+
+#: The full SSB flight used by tests and the warehouse example.
+SSB_FLIGHT = {
+    "q11": SSB_Q11_COMBINED,
+    "q21": SSB_Q21_COMBINED,
+    "q31": SSB_Q31_COMBINED,
+    "q41": SSB_Q41_COMBINED,
+}
+
+
+def ssb_catalog() -> Catalog:
+    """TPC-H base schema (facts as streams, dimensions static)."""
+    return Catalog.from_script(TPCH_DDL)
+
+
+def lineorder_catalog() -> Catalog:
+    """The star schema used by the materialise-then-aggregate baseline."""
+    return Catalog.from_script(LINEORDER_DDL)
+
+
+def warehouse_stream(generator: TpchGenerator) -> Iterator[StreamEvent]:
+    """The OLTP fact feed: orders and lineitems as insert events."""
+    for relation, row in generator.orders_and_lineitems():
+        yield StreamEvent(relation, 1, row)
+
+
+def load_static_tables(engine, generator: TpchGenerator) -> int:
+    """Bulk-load every dimension table into an engine; returns row count."""
+    count = 0
+    for relation, rows in generator.static_tables().items():
+        for row in rows:
+            engine.insert(relation, *row)
+            count += 1
+    return count
+
+
+def star_schema_rows(generator: TpchGenerator):
+    """Materialised SSB dimensions for the two-phase baseline."""
+    nations = {key: (name, region) for key, name, region in generator.nation()}
+    regions = dict(generator.region())
+    dim_customer = [
+        (custkey, nations[nationkey][0], regions[nations[nationkey][1]])
+        for custkey, nationkey, _segment, _bal in generator.customer()
+    ]
+    dim_supplier = [
+        (suppkey, regions[nations[nationkey][1]])
+        for suppkey, nationkey, _bal in generator.supplier()
+    ]
+    dim_part = [(partkey, mfgr) for partkey, mfgr, *_ in generator.part()]
+    dim_date = [(datekey, year) for datekey, year, _month in generator.ddate()]
+    return {
+        "dim_customer": dim_customer,
+        "dim_supplier": dim_supplier,
+        "dim_part": dim_part,
+        "dim_date": dim_date,
+    }
+
+
+def lineorder_rows(generator: TpchGenerator):
+    """The flat lineorder fact rows (what joint compilation never stores).
+
+    Supply cost is resolved through partsupp like the combined query; for
+    determinism the *first* generated partsupp row per (part, supplier)
+    wins (duplicates are possible in the generator, as in TPC-H).
+    """
+    supplycost: dict[tuple[int, int], int] = {}
+    for partkey, suppkey, cost in generator.partsupp():
+        supplycost.setdefault((partkey, suppkey), cost)
+
+    orders: dict[int, tuple] = {}
+    for relation, row in generator.orders_and_lineitems():
+        if relation == "orders":
+            orders[row[0]] = row
+            continue
+        (
+            orderkey,
+            partkey,
+            suppkey,
+            _linenumber,
+            _quantity,
+            extended,
+            discount,
+            _tax,
+            _shipdate,
+        ) = row
+        order = orders[orderkey]
+        cost = supplycost.get((partkey, suppkey))
+        if cost is None:
+            continue  # lineitem without a partsupp pairing joins to nothing
+        yield (
+            orderkey,
+            order[1],
+            partkey,
+            suppkey,
+            order[2],
+            extended * (100 - discount),
+            cost,
+        )

@@ -1,0 +1,215 @@
+"""Unit tests for the GMR reference evaluator."""
+
+import pytest
+
+from repro.errors import AlgebraError, SchemaError
+from repro.algebra.expr import (
+    AggSum,
+    Cmp,
+    Const,
+    Div,
+    Exists,
+    Lift,
+    Rel,
+    Var,
+    add,
+    mul,
+    neg,
+)
+from repro.algebra.eval import (
+    eval_expr,
+    eval_scalar,
+    gmr_add,
+    gmr_equal,
+    gmr_from_rows,
+)
+
+
+def rel(name, *vars_):
+    return Rel(name, tuple(Var(v) for v in vars_))
+
+
+@pytest.fixture
+def db():
+    return {
+        "R": {(1, 10): 1, (2, 20): 2, (3, 20): 1},
+        "S": {(10, 100): 1, (20, 200): 1, (20, 300): 1},
+        "T": {(100, 7): 1, (200, 8): 1},
+        "E": {},
+    }
+
+
+class TestLeaves:
+    def test_const(self, db):
+        assert eval_expr(Const(5), {}, db) == ((), {(): 5})
+
+    def test_var_bound(self, db):
+        assert eval_expr(Var("x"), {"x": 9}, db) == ((), {(): 9})
+
+    def test_var_unbound_raises(self, db):
+        with pytest.raises(SchemaError):
+            eval_expr(Var("x"), {}, db)
+
+    def test_rel_scan(self, db):
+        cols, rows = eval_expr(rel("R", "a", "b"), {}, db)
+        assert cols == ("a", "b")
+        assert rows == {(1, 10): 1, (2, 20): 2, (3, 20): 1}
+
+    def test_rel_with_bound_var_filters(self, db):
+        cols, rows = eval_expr(rel("R", "a", "b"), {"b": 20}, db)
+        assert cols == ("a",)
+        assert rows == {(2,): 2, (3,): 1}
+
+    def test_rel_with_const_arg_filters(self, db):
+        e = Rel("R", (Var("a"), Const(10)))
+        cols, rows = eval_expr(e, {}, db)
+        assert cols == ("a",)
+        assert rows == {(1,): 1}
+
+    def test_rel_duplicate_var_is_self_equality(self, db):
+        dup_db = {"D": {(1, 1): 1, (1, 2): 1, (3, 3): 4}}
+        e = Rel("D", (Var("x"), Var("x")))
+        cols, rows = eval_expr(e, {}, dup_db)
+        assert cols == ("x",)
+        assert rows == {(1,): 1, (3,): 4}
+
+    def test_unknown_relation_raises(self, db):
+        with pytest.raises(AlgebraError):
+            eval_expr(rel("NOPE", "a"), {}, db)
+
+    def test_arity_mismatch_raises(self, db):
+        with pytest.raises(AlgebraError):
+            eval_expr(rel("R", "a"), {}, db)
+
+
+class TestOperators:
+    def test_join_multiplies_multiplicities(self, db):
+        e = mul(rel("R", "a", "b"), rel("S", "b", "c"))
+        cols, rows = eval_expr(e, {}, db)
+        assert cols == ("a", "b", "c")
+        assert rows == {
+            (1, 10, 100): 1,
+            (2, 20, 200): 2,
+            (2, 20, 300): 2,
+            (3, 20, 200): 1,
+            (3, 20, 300): 1,
+        }
+
+    def test_empty_relation_short_circuits(self, db):
+        e = mul(rel("E",), rel("R", "a", "b"))
+        assert eval_expr(e, {}, db) == (("a", "b"), {})
+
+    def test_add_merges_and_cancels(self, db):
+        e = add(rel("R", "a", "b"), neg(rel("R", "a", "b")))
+        assert eval_expr(e, {}, db) == (("a", "b"), {})
+
+    def test_add_mismatched_branches_raise(self, db):
+        e = add(rel("R", "a", "b"), rel("S", "b", "c"))
+        with pytest.raises(SchemaError):
+            eval_expr(e, {}, db)
+
+    def test_cmp_true_false(self, db):
+        assert eval_scalar(Cmp("<", Const(1), Const(2)), {}, db) == 1
+        assert eval_scalar(Cmp(">", Const(1), Const(2)), {}, db) == 0
+        assert eval_scalar(Cmp("=", Const("x"), Const("x")), {}, db) == 1
+        assert eval_scalar(Cmp("!=", Const("x"), Const(1)), {}, db) == 1
+
+    def test_cmp_ordered_mixed_types_raise(self, db):
+        with pytest.raises(AlgebraError):
+            eval_scalar(Cmp("<", Const("x"), Const(1)), {}, db)
+
+    def test_filtered_join(self, db):
+        e = mul(rel("R", "a", "b"), Cmp(">", Var("b"), Const(15)))
+        cols, rows = eval_expr(e, {}, db)
+        assert rows == {(2, 20): 2, (3, 20): 1}
+
+    def test_div_by_zero_is_zero(self, db):
+        assert eval_scalar(Div(Const(4), Const(0)), {}, db) == 0
+        assert eval_scalar(Div(Const(4), Const(2)), {}, db) == 2
+
+
+class TestAggSumEval:
+    def test_full_aggregate(self, db):
+        e = AggSum((), mul(rel("R", "a", "b"), Var("a")))
+        # 1*1 + 2*2 + 3*1 = 8
+        assert eval_scalar(e, {}, db) == 8
+
+    def test_group_by(self, db):
+        e = AggSum(("b",), mul(rel("R", "a", "b"), Var("a")))
+        cols, rows = eval_expr(e, {}, db)
+        assert cols == ("b",)
+        assert rows == {(10,): 1, (20,): 7}
+
+    def test_group_var_bound_in_env_filters(self, db):
+        e = AggSum(("b",), mul(rel("R", "a", "b"), Var("a")))
+        cols, rows = eval_expr(e, {"b": 20}, db)
+        assert cols == ()
+        assert rows == {(): 7}
+
+    def test_empty_aggregate_is_zero_scalar(self, db):
+        e = AggSum((), rel("E",))
+        assert eval_scalar(e, {}, db) == 0
+
+
+class TestLiftAndExists:
+    def test_lift_binds(self, db):
+        e = Lift("x", Const(3))
+        assert eval_expr(e, {}, db) == (("x",), {(3,): 1})
+
+    def test_lift_bound_tests_equality(self, db):
+        e = Lift("x", Const(3))
+        assert eval_expr(e, {"x": 3}, db) == ((), {(): 1})
+        assert eval_expr(e, {"x": 4}, db) == ((), {})
+
+    def test_lift_of_aggregate(self, db):
+        inner = AggSum((), mul(rel("R", "a", "b"), Var("a")))
+        e = AggSum((), mul(Lift("total", inner), Var("total")))
+        assert eval_scalar(e, {}, db) == 8
+
+    def test_exists_caps_multiplicity(self, db):
+        e = Exists(rel("R", "a", "b"))
+        cols, rows = eval_expr(e, {}, db)
+        assert rows == {(1, 10): 1, (2, 20): 1, (3, 20): 1}
+
+    def test_exists_of_negative_is_one(self, db):
+        e = Exists(neg(rel("R", "a", "b")))
+        _, rows = eval_expr(e, {}, db)
+        assert set(rows.values()) == {1}
+
+
+class TestCorrelatedPatterns:
+    def test_vwap_style_nested_aggregate(self, db):
+        # sum over R rows where a < (total count of S rows)
+        count_s = AggSum((), rel("S", "x", "y"))
+        e = AggSum(
+            (),
+            mul(
+                rel("R", "a", "b"),
+                Lift("n", count_s),
+                Cmp("<", Var("a"), Var("n")),
+                Var("a"),
+            ),
+        )
+        # |S| = 3; rows with a < 3: a=1 (m1), a=2 (m2) -> 1 + 4 = 5
+        assert eval_scalar(e, {}, db) == 5
+
+    def test_correlated_subaggregate(self, db):
+        # for each R(a,b): count of S rows with key = b
+        per_b = AggSum((), Rel("S", (Var("b"), Var("c"))))
+        e = AggSum((), mul(rel("R", "a", "b"), per_b))
+        # b=10 -> 1 S row (x1), b=20 -> 2 rows (x mult 2 + 1) => 1 + 2*2 + 1*2 = wait:
+        # R rows: (1,10)x1 -> 1; (2,20)x2 -> 2*2=4; (3,20)x1 -> 2. Total 7.
+        assert eval_scalar(e, {}, db) == 7
+
+
+class TestGMRHelpers:
+    def test_gmr_from_rows_counts_duplicates(self):
+        g = gmr_from_rows([(1,), (1,), (2,)])
+        assert g == {(1,): 2, (2,): 1}
+
+    def test_gmr_add_prunes_zeros(self):
+        g = gmr_add({(1,): 1}, {(1,): -1, (2,): 3})
+        assert g == {(2,): 3}
+
+    def test_gmr_equal_ignores_zero_entries(self):
+        assert gmr_equal({(1,): 0, (2,): 5}, {(2,): 5})

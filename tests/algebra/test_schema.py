@@ -1,0 +1,145 @@
+"""Unit tests for input/output variable analysis."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.algebra.expr import (
+    AggSum,
+    Cmp,
+    Const,
+    Div,
+    Exists,
+    Lift,
+    MapRef,
+    Mul,
+    Rel,
+    Var,
+    add,
+    mul,
+    neg,
+)
+from repro.algebra.schema import (
+    free_vars,
+    input_vars,
+    is_scalar,
+    output_vars,
+    schema_of,
+    validate_closed,
+)
+
+
+def rel(name, *vars_):
+    return Rel(name, tuple(Var(v) for v in vars_))
+
+
+class TestLeafSchemas:
+    def test_const_has_empty_schema(self):
+        assert schema_of(Const(5)) == ((), ())
+
+    def test_var_is_an_input(self):
+        assert schema_of(Var("x")) == (("x",), ())
+
+    def test_rel_outputs_its_vars_in_order(self):
+        assert schema_of(rel("R", "a", "b")) == ((), ("a", "b"))
+
+    def test_rel_constant_args_bind_nothing(self):
+        r = Rel("R", (Var("a"), Const(3)))
+        assert schema_of(r) == ((), ("a",))
+
+    def test_rel_duplicate_var_outputs_once(self):
+        r = Rel("R", (Var("a"), Var("a")))
+        assert schema_of(r) == ((), ("a",))
+
+    def test_mapref_behaves_like_rel(self):
+        m = MapRef("q", (Var("k"),))
+        assert schema_of(m) == ((), ("k",))
+
+
+class TestComposite:
+    def test_cmp_inputs_are_all_operand_vars(self):
+        c = Cmp("<", Var("x"), Var("y"))
+        assert schema_of(c) == (("x", "y"), ())
+
+    def test_div_is_scalar_with_inputs(self):
+        d = Div(Var("x"), Const(2))
+        assert schema_of(d) == (("x",), ())
+
+    def test_mul_left_to_right_binding(self):
+        e = mul(rel("R", "a", "b"), rel("S", "b", "c"), Var("a"))
+        ins, outs = schema_of(e)
+        assert ins == ()
+        assert outs == ("a", "b", "c")
+
+    def test_mul_var_before_binder_is_input(self):
+        e = mul(Var("a"), rel("R", "a", "b"))
+        ins, outs = schema_of(e)
+        assert ins == ("a",)
+        # "a" is consumed as an input first; R then binds it.
+        assert "b" in outs
+
+    def test_add_common_outputs_only(self):
+        e = add(rel("R", "a", "b"), rel("S", "a", "c"))
+        ins, outs = schema_of(e)
+        assert outs == ("a",)
+        assert set(ins) == {"b", "c"}
+
+    def test_neg_passes_schema_through(self):
+        e = neg(rel("R", "a", "b"))
+        assert schema_of(e) == ((), ("a", "b"))
+
+    def test_exists_passes_schema_through(self):
+        e = Exists(rel("R", "a", "b"))
+        assert schema_of(e) == ((), ("a", "b"))
+
+    def test_lift_outputs_its_var(self):
+        e = Lift("x", Var("y"))
+        assert schema_of(e) == (("y",), ("x",))
+
+    def test_lift_body_outputs_become_inputs(self):
+        e = Lift("x", AggSum((), rel("R", "a")))
+        assert schema_of(e) == ((), ("x",))
+
+
+class TestAggSum:
+    def test_groups_are_the_outputs(self):
+        e = AggSum(("b",), mul(rel("S", "b", "c"), Var("c")))
+        assert schema_of(e) == ((), ("b",))
+
+    def test_group_var_not_produced_raises(self):
+        with pytest.raises(SchemaError):
+            schema_of(AggSum(("z",), rel("S", "b", "c")))
+
+    def test_body_inputs_propagate(self):
+        e = AggSum((), mul(rel("S", "b", "c"), Var("x")))
+        assert schema_of(e) == (("x",), ())
+
+    def test_input_group_var_stays_input(self):
+        # The body reads b (bound by context); grouping by it is a no-op.
+        e = AggSum(("b",), mul(Var("b"), Lift("b2", Var("b"))))
+        ins, outs = schema_of(e)
+        assert ins == ("b",)
+        assert outs == ()
+
+
+class TestHelpers:
+    def test_free_vars_inputs_then_outputs(self):
+        e = mul(Var("x"), rel("R", "a"))
+        assert free_vars(e) == ("x", "a")
+
+    def test_input_output_projections(self):
+        e = Cmp("=", Var("x"), Const(1))
+        assert input_vars(e) == ("x",)
+        assert output_vars(e) == ()
+
+    def test_is_scalar_depends_on_bound(self):
+        e = rel("R", "a")
+        assert not is_scalar(e)
+        assert is_scalar(e, bound=("a",))
+
+    def test_validate_closed_accepts_allowed_inputs(self):
+        e = mul(Var("k"), rel("R", "a"))
+        validate_closed(e, allowed=("k",))
+
+    def test_validate_closed_rejects_stray_inputs(self):
+        with pytest.raises(SchemaError):
+            validate_closed(Var("zz"))

@@ -1,0 +1,51 @@
+"""Shared assertion helpers for comparing evaluation results."""
+
+from __future__ import annotations
+
+from repro.algebra.eval import gmr_equal
+
+
+def align_rows(
+    cols: tuple[str, ...],
+    rows: dict,
+    target_cols: tuple[str, ...],
+) -> dict:
+    """Re-key ``rows`` from ``cols`` order into ``target_cols`` order."""
+    if not rows or cols == target_cols:
+        return rows
+    positions = [cols.index(c) for c in target_cols]
+    return {tuple(k[p] for p in positions): v for k, v in rows.items()}
+
+
+def assert_equivalent_results(
+    cols_a: tuple[str, ...],
+    rows_a: dict,
+    cols_b: tuple[str, ...],
+    rows_b: dict,
+    message: str = "",
+) -> None:
+    """Assert two evaluation results denote the same GMR.
+
+    Column order may differ; and a result that is empty (identically zero)
+    is allowed to have lost its column list entirely (a fully simplified
+    zero expression carries no schema).
+    """
+    if not rows_a and not rows_b:
+        return
+    if set(cols_a) != set(cols_b):
+        raise AssertionError(
+            f"column sets differ: {cols_a} vs {cols_b} {message}"
+        )
+    aligned = align_rows(cols_b, rows_b, cols_a)
+    assert gmr_equal(rows_a, aligned), (
+        f"results differ: {rows_a} vs {aligned} {message}"
+    )
+
+
+def apply_event(db: dict, name: str, sign: int, values: tuple) -> dict:
+    """A copy of ``db`` with one single-tuple insert/delete applied."""
+    from repro.algebra.eval import gmr_add
+
+    updated = dict(db)
+    updated[name] = gmr_add(db[name], {tuple(values): sign})
+    return updated

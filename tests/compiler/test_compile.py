@@ -1,0 +1,190 @@
+"""Compiler tests: Figure 2 reproduction, map sharing, statement shapes."""
+
+import pytest
+
+from repro.algebra.expr import AggSum, Lift, MapRef, Rel, Var, relations_in
+from repro.compiler import CompileOptions, compile_sql, compile_queries
+from repro.compiler.materialize import canonicalize, is_data_bound, ordered_vars
+from repro.algebra.translate import translate_sql
+from repro.sql.catalog import Catalog
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.from_script(
+        """
+        CREATE STREAM R (A int, B int);
+        CREATE STREAM S (B int, C int);
+        CREATE STREAM T (C int, D int);
+        CREATE STREAM bids (broker_id int, price int, volume int);
+        CREATE STREAM asks (broker_id int, price int, volume int);
+        """
+    )
+
+
+PAPER_SQL = (
+    "SELECT sum(r.A * t.D) FROM R r, S s, T t WHERE r.B = s.B AND s.C = t.C"
+)
+
+
+class TestFigure2:
+    """The compiled program must match the paper's Figure 2 exactly."""
+
+    @pytest.fixture
+    def program(self, catalog):
+        return compile_sql(PAPER_SQL, catalog)
+
+    def test_map_inventory(self, program):
+        """Six maps: q, qD[b], qA[b], qD[c], qA[c], q1[b,c] (S occurrences)."""
+        defs = {repr(m.defn) for m in program.maps.values()}
+        assert len(program.maps) == 6
+        assert "AggSum([], R(__i0,__i1) * S(__i1,__i2) * T(__i2,__i3) * __i0 * __i3)" in defs
+        # qD[b] = sum_D(sigma_B=b(S) join T)
+        assert "AggSum([__k0], S(__k0,__i0) * T(__i0,__i1) * __i1)" in defs
+        # qA[b] = sum_A(sigma_B=b(R))
+        assert "AggSum([__k0], R(__i0,__k0) * __i0)" in defs
+        # qD[c] = sum_D(sigma_C=c(T))
+        assert "AggSum([__k0], T(__k0,__i0) * __i0)" in defs
+        # qA[c] = sum_A(R join sigma_C=c(S))
+        assert "AggSum([__k0], R(__i0,__i1) * S(__i1,__k0) * __i0)" in defs
+        # q1[b,c] = count of S tuples
+        assert "AggSum([__k0,__k1], S(__k0,__k1))" in defs
+
+    def test_insert_s_eliminates_the_join(self, program):
+        """The paper's key step: insert-into-S touches no join at all."""
+        trigger = program.trigger_for("S", 1)
+        root = program.slot_maps["q"][0]
+        stmt = next(s for s in trigger.statements if s.target == root)
+        refs = [n for n in [stmt.rhs] if True]
+        names = stmt.reads()
+        assert len(names) == 2  # qA[b] * qD[c]
+        assert stmt.loop_vars == ()
+
+    def test_insert_r_shapes(self, program):
+        trigger = program.trigger_for("R", 1)
+        targets = {s.target: s for s in trigger.statements}
+        root = program.slot_maps["q"][0]
+        # q += a * qD[b]: single keyed lookup, no loop.
+        assert targets[root].loop_vars == ()
+        # exactly one foreach statement (qA[c] maintenance over S-occurrences)
+        loops = [s for s in trigger.statements if s.loop_vars]
+        assert len(loops) == 1
+
+    def test_deletion_triggers_are_negations(self, program):
+        for rel in ("R", "S", "T"):
+            plus = program.trigger_for(rel, 1)
+            minus = program.trigger_for(rel, -1)
+            assert len(plus.statements) == len(minus.statements)
+            plus_targets = sorted(s.target for s in plus.statements)
+            minus_targets = sorted(s.target for s in minus.statements)
+            assert plus_targets == minus_targets
+            for s in minus.statements:
+                assert "-1" in repr(s.rhs)
+
+    def test_trigger_count(self, program):
+        assert len(program.triggers) == 6  # 3 relations x insert/delete
+
+
+class TestMapSharing:
+    def test_shared_maps_across_queries(self, catalog):
+        q1 = translate_sql("SELECT sum(volume) FROM bids", catalog, name="v1")
+        q2 = translate_sql(
+            "SELECT sum(b.volume * a.volume) FROM bids b, asks a "
+            "WHERE b.broker_id = a.broker_id",
+            catalog,
+            name="v2",
+        )
+        program = compile_queries([q1, q2], catalog)
+        # v1's root (sum of bid volume per nothing) is NOT shared (different
+        # shape), but the broker-keyed bid-volume map appears only once.
+        names = [m.defn for m in program.maps.values()]
+        assert len(names) == len(set(names))  # no duplicate definitions at all
+
+    def test_identical_queries_share_everything(self, catalog):
+        q1 = translate_sql("SELECT sum(volume) FROM bids", catalog, name="a")
+        q2 = translate_sql("SELECT sum(volume) FROM bids", catalog, name="b")
+        program = compile_queries([q1, q2], catalog)
+        assert program.slot_maps["a"] == program.slot_maps["b"]
+        assert len(program.maps) == 1
+
+    def test_sharing_can_be_disabled(self, catalog):
+        q1 = translate_sql("SELECT sum(volume) FROM bids", catalog, name="a")
+        q2 = translate_sql("SELECT sum(volume) FROM bids", catalog, name="b")
+        program = compile_queries(
+            [q1, q2], catalog, CompileOptions(share_maps=False)
+        )
+        assert len(program.maps) == 2
+
+
+class TestCompileOptions:
+    def test_no_deletions_halves_triggers(self, catalog):
+        program = compile_sql(
+            PAPER_SQL, catalog, options=CompileOptions(deletions=False)
+        )
+        assert all(sign == 1 for _, sign in program.triggers)
+
+    def test_first_order_mode_has_no_derived_aggregates(self, catalog):
+        """derived_maps=False is classical first-order IVM: only occurrence
+        maps of the base relations are maintained."""
+        program = compile_sql(
+            PAPER_SQL, catalog, options=CompileOptions(derived_maps=False)
+        )
+        roles = {m.role for m in program.maps.values()}
+        assert roles <= {"root", "occurrence"}
+        # The root update must now join the base occurrence maps.
+        trigger = program.trigger_for("S", 1)
+        root = program.slot_maps["q"][0]
+        stmt = next(s for s in trigger.statements if s.target == root)
+        assert len(stmt.reads()) == 2  # R-occurrences join T-occurrences
+
+    def test_full_mode_is_default(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        assert program.options.derived_maps
+
+
+class TestGroupedQueries:
+    def test_group_key_becomes_map_key(self, catalog):
+        program = compile_sql(
+            "SELECT broker_id, sum(price * volume) FROM bids GROUP BY broker_id",
+            catalog,
+        )
+        root = program.slot_maps["q"][0]
+        assert program.maps[root].arity == 1
+        trigger = program.trigger_for("bids", 1)
+        stmt = next(s for s in trigger.statements if s.target == root)
+        # Key arg is the event's broker value; no loops.
+        assert stmt.loop_vars == ()
+
+    def test_self_join_compiles(self, catalog):
+        program = compile_sql(
+            "SELECT sum(b1.volume * b2.volume) FROM bids b1, bids b2 "
+            "WHERE b1.broker_id = b2.broker_id",
+            catalog,
+        )
+        trigger = program.trigger_for("bids", 1)
+        # Self-joins need the second-order cross term: the event joins itself.
+        assert len(trigger.statements) >= 2
+
+
+class TestMaterializeHelpers:
+    def test_ordered_vars_deterministic(self):
+        e = AggSum(("b",), Rel("S", (Var("b"), Var("c"))))
+        assert ordered_vars(e) == ["b", "c"]
+
+    def test_canonicalize_positional(self):
+        e = Rel("S", (Var("x"), Var("y")))
+        canon, keys = canonicalize(("x",), e)
+        assert keys == ("__k0",)
+        assert repr(canon) == "AggSum([__k0], S(__k0,__i0))"
+
+    def test_canonicalize_shares_alpha_equivalent(self):
+        e1 = Rel("S", (Var("x"), Var("y")))
+        e2 = Rel("S", (Var("p"), Var("q")))
+        assert canonicalize(("x",), e1) == canonicalize(("p",), e2)
+
+    def test_is_data_bound(self):
+        body = Rel("S", (Var("b"), Var("c")))
+        assert is_data_bound("b", body)
+        assert not is_data_bound("z", body)
+        lifted = Lift("v", Var("c"))
+        assert is_data_bound("v", lifted)

@@ -1,0 +1,90 @@
+"""Tests for program structures: ordering, buffering, validation."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.algebra.expr import Const, MapRef, Var, mul
+from repro.compiler.program import (
+    Statement,
+    needs_buffering,
+    order_statements,
+    validate_statement,
+)
+
+
+def stmt(target, reads=(), loop_vars=(), args=()):
+    rhs_parts = [MapRef(name, ()) for name in reads] or [Const(1)]
+    return Statement(
+        target=target,
+        args=tuple(Var(a) for a in args),
+        rhs=mul(*rhs_parts),
+        loop_vars=loop_vars,
+    )
+
+
+class TestOrdering:
+    def test_reader_runs_before_writer(self):
+        writer = stmt("x")
+        reader = stmt("y", reads=("x",))
+        ordered = order_statements([writer, reader])
+        assert ordered.index(reader) < ordered.index(writer)
+
+    def test_chain_ordering(self):
+        s1 = stmt("a", reads=("b",))
+        s2 = stmt("b", reads=("c",))
+        s3 = stmt("c")
+        ordered = order_statements([s3, s2, s1])
+        assert [s.target for s in ordered] == ["a", "b", "c"]
+
+    def test_cycle_preserves_input_order(self):
+        s1 = stmt("a", reads=("b",))
+        s2 = stmt("b", reads=("a",))
+        ordered = order_statements([s1, s2])
+        assert ordered == [s1, s2]
+
+    def test_independent_statements_keep_stable_order(self):
+        s1 = stmt("a")
+        s2 = stmt("b")
+        assert order_statements([s1, s2]) == [s1, s2]
+
+    def test_empty_and_singleton(self):
+        assert order_statements([]) == []
+        s = stmt("a")
+        assert order_statements([s]) == [s]
+
+
+class TestBuffering:
+    def test_clean_sequence_needs_no_buffering(self):
+        s1 = stmt("y", reads=("x",))
+        s2 = stmt("x")
+        assert not needs_buffering([s1, s2])
+
+    def test_read_after_write_needs_buffering(self):
+        s1 = stmt("x")
+        s2 = stmt("y", reads=("x",))
+        assert needs_buffering([s1, s2])
+
+    def test_self_reference_needs_buffering(self):
+        s = stmt("x", reads=("x",))
+        assert needs_buffering([s])
+
+
+class TestValidation:
+    def test_loop_vars_must_be_rhs_outputs(self):
+        bad = Statement(
+            target="m",
+            args=(Var("k"),),
+            rhs=Const(1),
+            loop_vars=("k",),
+        )
+        with pytest.raises(CompilationError):
+            validate_statement(bad)
+
+    def test_valid_loop_statement_passes(self):
+        good = Statement(
+            target="m",
+            args=(Var("k"),),
+            rhs=MapRef("src", (Var("k"),)),
+            loop_vars=("k",),
+        )
+        validate_statement(good)

@@ -1,0 +1,251 @@
+"""Runtime tests: engine API, events, views, sources, debugger, profiler."""
+
+import pytest
+
+from repro.errors import EventError, RuntimeEngineError, UnknownStreamError
+from repro.compiler import compile_sql, compile_queries
+from repro.algebra.translate import translate_sql
+from repro.runtime import DeltaEngine, StreamEvent, insert, delete, update
+from repro.runtime.debugger import Debugger
+from repro.runtime.events import flatten
+from repro.runtime.profiler import (
+    Profiler,
+    map_memory_bytes,
+    profile_compilation,
+    total_memory_bytes,
+)
+from repro.runtime.sources import (
+    coerce_row,
+    csv_source,
+    list_source,
+    relation_loader,
+    write_csv,
+)
+from repro.sql.catalog import Catalog
+
+DDL = """
+CREATE STREAM bids (broker_id int, price int, volume int);
+CREATE STREAM asks (broker_id int, price int, volume int);
+"""
+GROUPED = "SELECT broker_id, sum(price * volume) FROM bids GROUP BY broker_id"
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.from_script(DDL)
+
+
+@pytest.fixture
+def engine(catalog):
+    return DeltaEngine(compile_sql(GROUPED, catalog), mode="compiled")
+
+
+class TestEvents:
+    def test_constructors(self):
+        assert insert("bids", 1, 2, 3) == StreamEvent("bids", 1, (1, 2, 3))
+        assert delete("bids", 1, 2, 3) == StreamEvent("bids", -1, (1, 2, 3))
+
+    def test_update_is_delete_insert_pair(self):
+        removal, addition = update("bids", (1, 2, 3), (1, 2, 9))
+        assert removal.sign == -1 and addition.sign == 1
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(EventError):
+            StreamEvent("bids", 0, ())
+
+    def test_flatten_handles_pairs(self):
+        events = [insert("bids", 1, 2, 3), update("bids", (1, 2, 3), (1, 2, 4))]
+        assert len(list(flatten(events))) == 3
+
+
+class TestEngineAPI:
+    def test_insert_update_delete_cycle(self, engine):
+        engine.insert("bids", 1, 100, 5)
+        assert engine.results() == [(1, 500)]
+        engine.process_stream([update("bids", (1, 100, 5), (1, 100, 9))])
+        assert engine.results() == [(1, 900)]
+        engine.delete("bids", 1, 100, 9)
+        assert engine.results() == []  # group disappears
+
+    def test_unknown_relation_strict(self, catalog):
+        strict = DeltaEngine(compile_sql(GROUPED, catalog), strict=True)
+        with pytest.raises(UnknownStreamError):
+            strict.insert("nope", 1)
+
+    def test_unknown_relation_lenient_is_counted(self, engine):
+        engine.insert("nonexistent", 1)
+        assert engine.events_skipped == 1
+
+    def test_result_scalar_requires_scalar_query(self, engine):
+        engine.insert("bids", 1, 100, 5)
+        with pytest.raises(EventError):
+            engine.result_scalar()
+
+    def test_multi_query_results_by_name(self, catalog):
+        queries = [
+            translate_sql(GROUPED, catalog, name="by_broker"),
+            translate_sql("SELECT sum(volume) FROM bids", catalog, name="total"),
+        ]
+        engine = DeltaEngine(compile_queries(queries, catalog))
+        engine.insert("bids", 2, 50, 4)
+        assert engine.results("total") == [(4,)]
+        assert engine.results("by_broker") == [(2, 200)]
+        with pytest.raises(RuntimeEngineError):
+            engine.results()  # ambiguous
+
+    def test_results_dict(self, engine):
+        engine.insert("bids", 3, 10, 2)
+        assert engine.results_dict() == [{"broker_id": 3, "sum_1": 20}]
+
+    def test_map_view_is_read_only(self, engine):
+        engine.insert("bids", 1, 100, 5)
+        root = engine.program.slot_maps["q"][0]
+        view = engine.map_view(root)
+        assert view[(1,)] == 500
+        with pytest.raises(TypeError):
+            view[(1,)] = 0
+
+    def test_load_bulk(self, engine):
+        count = engine.load("bids", [(1, 10, 1), (1, 20, 2)])
+        assert count == 2
+        assert engine.results() == [(1, 50)]
+
+    def test_interpreted_and_compiled_agree(self, catalog):
+        program = compile_sql(GROUPED, catalog)
+        compiled = DeltaEngine(program, mode="compiled")
+        interpreted = DeltaEngine(program, mode="interpreted")
+        for event in [
+            insert("bids", 1, 10, 5),
+            insert("bids", 2, 20, 1),
+            delete("bids", 1, 10, 5),
+        ]:
+            compiled.process(event)
+            interpreted.process(event)
+        assert compiled.results() == interpreted.results()
+
+    def test_unknown_mode_rejected(self, catalog):
+        with pytest.raises(EventError):
+            DeltaEngine(compile_sql(GROUPED, catalog), mode="quantum")
+
+
+class TestViews:
+    def test_min_max_rendering(self, catalog):
+        sql = "SELECT broker_id, min(price), max(price) FROM bids GROUP BY broker_id"
+        engine = DeltaEngine(compile_sql(sql, catalog))
+        engine.insert("bids", 1, 30, 1)
+        engine.insert("bids", 1, 10, 1)
+        engine.insert("bids", 1, 20, 1)
+        assert engine.results() == [(1, 10, 30)]
+        engine.delete("bids", 1, 10, 1)
+        assert engine.results() == [(1, 20, 30)]
+
+    def test_avg_rendering(self, catalog):
+        engine = DeltaEngine(
+            compile_sql("SELECT avg(price) FROM bids", catalog)
+        )
+        assert engine.results() == [(0,)]  # empty: division convention
+        engine.insert("bids", 1, 10, 1)
+        engine.insert("bids", 1, 20, 1)
+        assert engine.results() == [(15.0,)]
+
+    def test_zero_sum_group_still_present_via_count(self, catalog):
+        sql = "SELECT broker_id, sum(volume) FROM bids GROUP BY broker_id"
+        engine = DeltaEngine(compile_sql(sql, catalog))
+        engine.insert("bids", 1, 100, 5)
+        engine.insert("bids", 1, 100, -5)  # net volume 0, but 2 rows live
+        assert engine.results() == [(1, 0)]
+
+
+class TestSources:
+    def test_list_and_loader(self, engine):
+        engine.process_stream(list_source([insert("bids", 1, 10, 1)]))
+        engine.process_stream(relation_loader("bids", [(1, 20, 2)]))
+        assert engine.results() == [(1, 50)]
+
+    def test_csv_round_trip(self, tmp_path, catalog, engine):
+        path = tmp_path / "stream.csv"
+        events = [
+            insert("bids", 1, 100, 5),
+            delete("bids", 1, 100, 5),
+            insert("bids", 2, 30, 2),
+        ]
+        assert write_csv(path, events) == 3
+        loaded = list(csv_source(path, catalog))
+        assert loaded == events
+        engine.process_stream(loaded)
+        assert engine.results() == [(2, 60)]
+
+    def test_csv_bad_op_raises(self, tmp_path, catalog):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,relation,values...\n?,bids,1,2,3\n")
+        with pytest.raises(EventError):
+            list(csv_source(path, catalog))
+
+    def test_csv_arity_check(self, tmp_path, catalog):
+        path = tmp_path / "short.csv"
+        path.write_text("op,relation,values...\n+,bids,1\n")
+        with pytest.raises(EventError):
+            list(csv_source(path, catalog))
+
+    def test_coerce_row_types(self, catalog):
+        relation = catalog.get("bids")
+        assert coerce_row(relation, ["1", "2", "3"]) == (1, 2, 3)
+
+
+class TestDebugger:
+    def test_step_traces_statements(self, catalog):
+        program = compile_sql(GROUPED, catalog)
+        debugger = Debugger(program)
+        trace = debugger.step(insert("bids", 1, 100, 5))
+        assert trace.statements
+        touched = [u for s in trace.statements for u in s.updates]
+        assert any(value == 500 for _, _, value in touched)
+
+    def test_history_and_watch(self, catalog):
+        program = compile_sql(GROUPED, catalog)
+        debugger = Debugger(program)
+        root = program.slot_maps["q"][0]
+        debugger.run([insert("bids", 1, 100, 5), insert("asks", 1, 1, 1)])
+        watched = debugger.watch(root)
+        assert len(watched) == 1
+
+    def test_map_snapshot(self, catalog):
+        program = compile_sql(GROUPED, catalog)
+        debugger = Debugger(program)
+        root = program.slot_maps["q"][0]
+        debugger.step(insert("bids", 2, 10, 3))
+        assert debugger.map_snapshot(root) == {(2,): 30}
+
+    def test_sink_receives_traces(self, catalog):
+        lines = []
+        debugger = Debugger(compile_sql(GROUPED, catalog), sink=lines.append)
+        debugger.step(insert("bids", 1, 1, 1))
+        assert lines and "bids" in lines[0]
+
+
+class TestProfiler:
+    def test_event_and_statement_counts(self, catalog):
+        profiler = Profiler()
+        engine = DeltaEngine(
+            compile_sql(GROUPED, catalog), mode="interpreted", profiler=profiler
+        )
+        engine.insert("bids", 1, 10, 1)
+        engine.delete("bids", 1, 10, 1)
+        assert profiler.events == 2
+        assert profiler.events_by_trigger == {"+bids": 1, "-bids": 1}
+        assert sum(profiler.map_updates.values()) > 0
+        assert "events processed: 2" in profiler.report()
+
+    def test_memory_accounting(self, engine):
+        engine.insert("bids", 1, 10, 1)
+        sizes = map_memory_bytes(engine.maps)
+        assert set(sizes) == set(engine.maps)
+        assert total_memory_bytes(engine.maps) == sum(sizes.values())
+
+    def test_profile_compilation_report(self, catalog):
+        report = profile_compilation(GROUPED, catalog)
+        assert report.map_count >= 1
+        assert report.python_source_bytes > 100
+        assert report.cpp_source_bytes > 100
+        assert report.total_seconds > 0
+        assert "generated Python" in report.report()

@@ -1,0 +1,160 @@
+"""Unit tests for the binder (name resolution + validation)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql.ast import ColumnRef
+from repro.sql.binder import bind_query
+from repro.sql.catalog import Catalog, SqlType
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.from_script(
+        """
+        CREATE STREAM bids (t float, id int, broker_id int, price float, volume float);
+        CREATE STREAM asks (t float, id int, broker_id int, price float, volume float);
+        CREATE TABLE nation (n_nationkey int, n_name varchar(25), n_regionkey int);
+        """
+    )
+
+
+def bind(sql, catalog):
+    return bind_query(parse_query(sql), catalog)
+
+
+class TestResolution:
+    def test_qualified_resolution(self, catalog):
+        bound = bind("SELECT sum(b.price) FROM bids b", catalog)
+        agg = bound.query.items[0].expr
+        resolution = bound.resolve(agg.argument)
+        assert resolution.binding == "b"
+        assert resolution.relation.name == "bids"
+        assert resolution.type is SqlType.FLOAT
+
+    def test_unqualified_unique_resolution(self, catalog):
+        bound = bind("SELECT sum(n_regionkey) FROM nation", catalog)
+        agg = bound.query.items[0].expr
+        assert bound.resolve(agg.argument).column == "n_regionkey"
+
+    def test_ambiguous_column_raises(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(price) FROM bids, asks", catalog)
+
+    def test_unknown_column_raises(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(b.nope) FROM bids b", catalog)
+
+    def test_unknown_table_alias_raises(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(zz.price) FROM bids b", catalog)
+
+    def test_duplicate_alias_raises(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(b.price) FROM bids b, asks b", catalog)
+
+    def test_correlated_subquery_resolves_outward(self, catalog):
+        bound = bind(
+            "SELECT sum(b.price) FROM bids b WHERE EXISTS "
+            "(SELECT a.id FROM asks a WHERE a.broker_id = b.broker_id)",
+            catalog,
+        )
+        exists = bound.query.where
+        comparison = exists.query.where
+        outer_ref = comparison.right
+        assert bound.resolutions[id(outer_ref)].depth == 1
+        inner_ref = comparison.left
+        assert bound.resolutions[id(inner_ref)].depth == 0
+
+
+class TestValidation:
+    def test_aggregate_required(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT price FROM bids GROUP BY price", catalog)
+
+    def test_group_by_discipline(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT broker_id, sum(price) FROM bids", catalog)
+
+    def test_grouped_query_binds(self, catalog):
+        bound = bind(
+            "SELECT broker_id, sum(price) FROM bids GROUP BY broker_id", catalog
+        )
+        assert bound.group_names == ["broker_id"]
+        assert bound.item_info[0].is_aggregate is False
+        assert bound.item_info[1].is_aggregate is True
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(price) FROM bids WHERE sum(volume) > 5", catalog)
+
+    def test_aggregate_of_aggregate_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(sum(price)) FROM bids", catalog)
+
+    def test_star_outside_count_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(*) FROM bids", catalog)
+
+    def test_where_must_be_boolean(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(price) FROM bids WHERE volume", catalog)
+
+
+class TestTyping:
+    def test_string_numeric_comparison_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(n_nationkey) FROM nation WHERE n_name = 5", catalog)
+
+    def test_string_equality_allowed(self, catalog):
+        bound = bind(
+            "SELECT sum(n_nationkey) FROM nation WHERE n_name = 'FRANCE'", catalog
+        )
+        assert bound is not None
+
+    def test_sum_of_string_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(n_name) FROM nation", catalog)
+
+    def test_arith_on_string_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SELECT sum(n_nationkey) FROM nation WHERE n_name + 1 = 2", catalog)
+
+    def test_min_of_string_allowed(self, catalog):
+        bound = bind("SELECT min(n_name) FROM nation", catalog)
+        assert bound.item_info[0].is_aggregate
+
+
+class TestSubqueryValidation:
+    def test_scalar_subquery_must_be_single_aggregate(self, catalog):
+        with pytest.raises(BindError):
+            bind(
+                "SELECT sum(price) FROM bids WHERE volume > "
+                "(SELECT id FROM asks)",
+                catalog,
+            )
+
+    def test_scalar_subquery_no_group_by(self, catalog):
+        with pytest.raises(BindError):
+            bind(
+                "SELECT sum(price) FROM bids WHERE volume > "
+                "(SELECT sum(volume) FROM asks GROUP BY broker_id)",
+                catalog,
+            )
+
+    def test_in_subquery_single_column(self, catalog):
+        with pytest.raises(BindError):
+            bind(
+                "SELECT sum(price) FROM bids WHERE id IN (SELECT id, t FROM asks)",
+                catalog,
+            )
+
+    def test_exists_subquery_binds_without_aggregates(self, catalog):
+        bound = bind(
+            "SELECT sum(b.price) FROM bids b WHERE EXISTS "
+            "(SELECT a.id FROM asks a WHERE a.price > b.price)",
+            catalog,
+        )
+        assert "asks" in bound.relations_used
+        assert "bids" in bound.relations_used

@@ -1,0 +1,76 @@
+"""Unit tests for the schema catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sql.catalog import Catalog, Column, Relation, SqlType, sql_type_from_name
+
+
+class TestTypes:
+    def test_type_mapping(self):
+        assert sql_type_from_name("int") is SqlType.INT
+        assert sql_type_from_name("INTEGER") is SqlType.INT
+        assert sql_type_from_name("bigint") is SqlType.INT
+        assert sql_type_from_name("date") is SqlType.INT
+        assert sql_type_from_name("double") is SqlType.FLOAT
+        assert sql_type_from_name("decimal") is SqlType.FLOAT
+        assert sql_type_from_name("varchar") is SqlType.STRING
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(CatalogError):
+            sql_type_from_name("blob")
+
+    def test_numeric_flag(self):
+        assert SqlType.INT.is_numeric
+        assert SqlType.FLOAT.is_numeric
+        assert not SqlType.STRING.is_numeric
+
+
+class TestRelation:
+    def test_column_lookup_is_case_insensitive(self):
+        rel = Relation("R", (Column("Price", SqlType.FLOAT),))
+        assert rel.column("price").name == "Price"
+        assert rel.has_column("PRICE")
+
+    def test_missing_column_raises(self):
+        rel = Relation("R", (Column("a", SqlType.INT),))
+        with pytest.raises(CatalogError):
+            rel.column("b")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Relation("R", (Column("a", SqlType.INT), Column("A", SqlType.INT)))
+
+    def test_arity_and_names(self):
+        rel = Relation("R", (Column("a", SqlType.INT), Column("b", SqlType.INT)))
+        assert rel.arity == 2
+        assert rel.column_names == ("a", "b")
+
+
+class TestCatalog:
+    def test_from_script(self):
+        catalog = Catalog.from_script(
+            "CREATE STREAM bids (t float, id int);"
+            "CREATE TABLE nation (n_name varchar(25));"
+        )
+        assert len(catalog) == 2
+        assert catalog.get("BIDS").is_stream
+        assert not catalog.get("nation").is_stream
+
+    def test_duplicate_definition_rejected(self):
+        catalog = Catalog.from_script("CREATE TABLE R (a int)")
+        with pytest.raises(CatalogError):
+            catalog.define(Relation("r", (Column("x", SqlType.INT),)))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("nope")
+
+    def test_contains_and_iter(self):
+        catalog = Catalog.from_script("CREATE TABLE R (a int)")
+        assert "R" in catalog and "r" in catalog
+        assert [r.name for r in catalog] == ["R"]
+
+    def test_select_in_catalog_script_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog.from_script("SELECT sum(a) FROM R")

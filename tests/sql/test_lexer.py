@@ -1,0 +1,117 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("select SELECT Select") == ["SELECT"] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert values("lineitem LineItem") == ["lineitem", "LineItem"]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("select foo")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENTIFIER
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "select"
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+        assert isinstance(values("42")[0], int)
+
+    def test_float(self):
+        assert values("3.25") == [3.25]
+        assert values(".5") == [0.5]
+
+    def test_scientific_notation(self):
+        assert values("1e3 2.5E-2") == [1000.0, 0.025]
+
+    def test_integer_then_dot_identifier(self):
+        # "b.price" style access must not eat the dot after an identifier.
+        tokens = tokenize("b.price")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values("'AMERICA'") == ["AMERICA"]
+
+    def test_escaped_quote(self):
+        assert values("'O''Neil'") == ["O'Neil"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'line\nbreak'")
+
+
+class TestOperators:
+    def test_all_comparison_operators(self):
+        assert values("<= >= <> != = < >") == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_arithmetic_operators(self):
+        assert values("+ - * /") == ["+", "-", "*", "/"]
+
+    def test_punctuation(self):
+        ks = kinds("(,);")[:-1]
+        assert ks == [
+            TokenType.LPAREN,
+            TokenType.COMMA,
+            TokenType.RPAREN,
+            TokenType.SEMICOLON,
+        ]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert values("select -- comment\n 1") == ["SELECT", 1]
+
+    def test_block_comment(self):
+        assert values("select /* multi\nline */ 1") == ["SELECT", 1]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* oops")
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("select\n  foo")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("select @")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 8

@@ -1,0 +1,210 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateCall,
+    Arith,
+    BetweenExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    CreateRelation,
+    ExistsExpr,
+    InExpr,
+    Literal,
+    Not,
+    ScalarSubquery,
+    SelectQuery,
+    Star,
+    UnaryMinus,
+)
+from repro.sql.parser import parse_query, parse_script, parse_statement
+
+
+class TestSelectBasics:
+    def test_paper_query(self):
+        q = parse_query(
+            "SELECT sum(A*D) FROM R, S, T WHERE R.B = S.B AND S.C = T.C"
+        )
+        assert len(q.items) == 1
+        agg = q.items[0].expr
+        assert isinstance(agg, AggregateCall) and agg.func == "SUM"
+        assert isinstance(agg.argument, Arith) and agg.argument.op == "*"
+        assert [t.name for t in q.tables] == ["R", "S", "T"]
+        assert isinstance(q.where, BoolOp) and q.where.op == "AND"
+
+    def test_aliases(self):
+        q = parse_query("SELECT b.price FROM bids b, asks AS a WHERE sum(b.v) > 0")
+        assert q.tables[0].alias == "b"
+        assert q.tables[1].alias == "a"
+        assert q.tables[0].binding == "b"
+
+    def test_select_item_aliases(self):
+        q = parse_query("SELECT sum(x) AS total, sum(y) grand FROM R")
+        assert q.items[0].alias == "total"
+        assert q.items[1].alias == "grand"
+
+    def test_group_by(self):
+        q = parse_query("SELECT broker, sum(v) FROM bids GROUP BY broker")
+        assert q.group_by == (ColumnRef(None, "broker"),)
+
+    def test_group_by_qualified(self):
+        q = parse_query("SELECT b.broker, sum(v) FROM bids b GROUP BY b.broker")
+        assert q.group_by == (ColumnRef("b", "broker"),)
+
+    def test_count_star(self):
+        q = parse_query("SELECT count(*) FROM R")
+        agg = q.items[0].expr
+        assert isinstance(agg, AggregateCall) and isinstance(agg.argument, Star)
+
+    def test_having_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum(a) FROM R GROUP BY b HAVING sum(a) > 1")
+
+    def test_distinct_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT count(DISTINCT a) FROM R")
+
+
+class TestJoinSyntax:
+    def test_inner_join_desugars_to_where(self):
+        q = parse_query(
+            "SELECT sum(a) FROM R INNER JOIN S ON R.b = S.b WHERE S.c > 1"
+        )
+        assert [t.name for t in q.tables] == ["R", "S"]
+        assert isinstance(q.where, BoolOp) and q.where.op == "AND"
+        assert len(q.where.operands) == 2
+
+    def test_bare_join(self):
+        q = parse_query("SELECT sum(a) FROM R JOIN S ON R.b = S.b")
+        assert len(q.tables) == 2
+        assert isinstance(q.where, Comparison)
+
+
+class TestExpressions:
+    def test_precedence_mul_before_add(self):
+        q = parse_query("SELECT sum(a + b * c) FROM R")
+        arg = q.items[0].expr.argument
+        assert arg.op == "+"
+        assert isinstance(arg.right, Arith) and arg.right.op == "*"
+
+    def test_parentheses_override(self):
+        q = parse_query("SELECT sum((a + b) * c) FROM R")
+        arg = q.items[0].expr.argument
+        assert arg.op == "*"
+
+    def test_unary_minus(self):
+        q = parse_query("SELECT sum(-a) FROM R")
+        assert isinstance(q.items[0].expr.argument, UnaryMinus)
+
+    def test_and_or_precedence(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(q.where, BoolOp) and q.where.op == "OR"
+        assert isinstance(q.where.operands[1], BoolOp)
+        assert q.where.operands[1].op == "AND"
+
+    def test_not(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE NOT x = 1")
+        assert isinstance(q.where, Not)
+
+    def test_comparison_normalises_ne(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE x <> 1")
+        assert q.where.op == "!="
+
+    def test_between(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE x BETWEEN 1 AND 10")
+        assert isinstance(q.where, BetweenExpr)
+
+    def test_string_literal(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE region = 'AMERICA'")
+        assert q.where.right == Literal("AMERICA")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self):
+        q = parse_query(
+            "SELECT sum(price) FROM bids b WHERE b.volume > "
+            "(SELECT sum(b2.volume) FROM bids b2)"
+        )
+        assert isinstance(q.where.right, ScalarSubquery)
+
+    def test_exists(self):
+        q = parse_query(
+            "SELECT sum(a) FROM R WHERE EXISTS (SELECT b FROM S WHERE S.b = R.b)"
+        )
+        assert isinstance(q.where, ExistsExpr)
+
+    def test_not_exists(self):
+        q = parse_query(
+            "SELECT sum(a) FROM R WHERE NOT EXISTS (SELECT b FROM S)"
+        )
+        assert isinstance(q.where, Not)
+        assert isinstance(q.where.operand, ExistsExpr)
+
+    def test_in_subquery(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE b IN (SELECT b FROM S)")
+        assert isinstance(q.where, InExpr)
+
+    def test_not_in_subquery(self):
+        q = parse_query("SELECT sum(a) FROM R WHERE b NOT IN (SELECT b FROM S)")
+        assert isinstance(q.where, Not)
+        assert isinstance(q.where.operand, InExpr)
+
+    def test_correlated_vwap_shape(self):
+        q = parse_query(
+            """
+            SELECT sum(b.price * b.volume) FROM bids b
+            WHERE 0.25 * (SELECT sum(b1.volume) FROM bids b1) >
+                  (SELECT sum(b2.volume) FROM bids b2 WHERE b2.price > b.price)
+            """
+        )
+        assert isinstance(q.where, Comparison)
+        assert isinstance(q.where.left, Arith)
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse_statement("CREATE TABLE R (A int, B varchar(20))")
+        assert isinstance(stmt, CreateRelation)
+        assert not stmt.is_stream
+        assert [c.name for c in stmt.columns] == ["A", "B"]
+
+    def test_create_stream(self):
+        stmt = parse_statement(
+            "CREATE STREAM bids (t float, id int, price decimal(10,2))"
+        )
+        assert isinstance(stmt, CreateRelation)
+        assert stmt.is_stream
+
+    def test_script_with_semicolons(self):
+        statements = parse_script(
+            "CREATE TABLE R (A int); CREATE TABLE S (B int);"
+            "SELECT sum(A) FROM R;"
+        )
+        assert len(statements) == 3
+        assert isinstance(statements[2], SelectQuery)
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum(a) R")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT sum(a) FROM R extra nonsense (")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT sum((a) FROM R")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_statement("")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("SELECT FROM R")
+        assert excinfo.value.line == 1

@@ -1,0 +1,113 @@
+"""Tests for the demonstration tooling: trace table and CLI."""
+
+import pytest
+
+from repro.compiler import compile_sql
+from repro.sql.catalog import Catalog
+from repro.tools.trace import compilation_rows, compilation_table, recursion_summary
+from repro.tools.cli import build_parser, main as cli_main
+
+DDL = """
+CREATE STREAM R (A int, B int);
+CREATE STREAM S (B int, C int);
+CREATE STREAM T (C int, D int);
+"""
+PAPER_SQL = "SELECT sum(r.A * t.D) FROM R r, S s, T t WHERE r.B = s.B AND s.C = t.C"
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_sql(PAPER_SQL, Catalog.from_script(DDL))
+
+
+class TestTrace:
+    def test_three_recursion_levels(self, program):
+        """Figure 2 has levels 1-3 for the example query."""
+        rows = compilation_rows(program)
+        assert {r["level"] for r in rows} == {1, 2, 3}
+
+    def test_level3_is_the_count_map(self, program):
+        rows = [r for r in compilation_rows(program) if r["level"] == 3]
+        assert rows
+        assert all("S(__k0,__k1)" in r["query"] for r in rows)
+        # q1[b,c] maintenance is the constant +-1, using no maps.
+        assert all(not r["maps_used"] for r in rows)
+
+    def test_insert_s_row_shows_join_elimination(self, program):
+        rows = [
+            r
+            for r in compilation_rows(program)
+            if r["level"] == 1 and r["event"] == "+S"
+        ]
+        assert len(rows) == 1
+        assert len(rows[0]["maps_used"]) == 2  # qA[b] * qD[c]
+
+    def test_table_renders(self, program):
+        table = compilation_table(program)
+        assert "lvl" in table and "+R" in table and "-T" in table
+        assert len(table.splitlines()) == 2 + len(compilation_rows(program))
+
+    def test_recursion_summary(self, program):
+        summary = recursion_summary(program)
+        assert summary[0] == 1  # the root map
+        assert sum(summary.values()) == len(program.maps)
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_command(self, capsys):
+        rc = cli_main(
+            [
+                "compile",
+                "--schema",
+                DDL,
+                "--query",
+                PAPER_SQL,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 trace" in out
+        assert "maps per recursion level" in out
+
+    def test_compile_emit_python(self, capsys):
+        rc = cli_main(
+            ["compile", "--schema", DDL, "--query", PAPER_SQL, "--emit", "python"]
+        )
+        assert rc == 0
+        assert "def on_insert_r" in capsys.readouterr().out
+
+    def test_run_command_over_csv(self, tmp_path, capsys):
+        stream = tmp_path / "events.csv"
+        stream.write_text(
+            "op,relation,values...\n"
+            "+,R,2,10\n+,S,10,100\n+,T,100,7\n-,R,2,10\n+,R,5,10\n"
+        )
+        rc = cli_main(
+            [
+                "run",
+                "--schema",
+                DDL,
+                "--query",
+                PAPER_SQL,
+                "--stream",
+                str(stream),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(35,)" in out  # 5 * 7
+
+    def test_bench_command(self, capsys):
+        rc = cli_main(
+            ["bench", "--workload", "finance", "--query", "psp", "--events", "2000"]
+        )
+        assert rc == 0
+        assert "events/s" in capsys.readouterr().out
+
+    def test_missing_schema_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["compile", "--query", PAPER_SQL])
