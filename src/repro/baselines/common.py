@@ -27,8 +27,10 @@ ENGINE_KINDS = {
 def make_engine(kind: str, queries: dict[str, str], catalog: Catalog):
     """Build one bakeoff engine over the same standing queries.
 
-    All returned engines expose ``process`` / ``process_stream`` /
-    ``insert`` / ``delete`` / ``results`` / ``total_entries``.
+    All returned engines expose ``process`` / ``process_batch`` /
+    ``process_stream`` / ``insert`` / ``delete`` / ``results`` /
+    ``total_entries``, so per-event and batched comparisons run the same
+    driver code against every system.
     """
     if kind == "dbtoaster":
         return _delta_engine(queries, catalog, mode="compiled")

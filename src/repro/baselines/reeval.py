@@ -9,7 +9,7 @@ when benchmarking pure update cost).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.errors import EventError
 from repro.sql.binder import BoundQuery, bind_query
@@ -17,7 +17,7 @@ from repro.sql.catalog import Catalog
 from repro.sql.parser import parse_query
 from repro.interpreter.executor import execute_query
 from repro.interpreter.relations import Database
-from repro.runtime.events import StreamEvent, flatten
+from repro.runtime.events import StreamEvent, batches
 
 
 class ReevalEngine:
@@ -62,15 +62,38 @@ class ReevalEngine:
         self.db.apply(event)
         self.events_processed += 1
         if self.refresh == "eager":
-            for name, bound in self.bound.items():
-                self._cached[name] = execute_query(bound, self.db)
+            self._refresh()
 
-    def process_stream(self, events: Iterable) -> int:
+    def process_batch(self, relation: str, sign: int, rows: Sequence[Sequence]) -> int:
+        """Apply a run of rows, then refresh once.
+
+        The legitimate batch optimisation for a re-evaluating DBMS: the
+        standing query is re-run per *batch* instead of per event, so the
+        bakeoff's batched comparisons stay apples-to-apples.
+        """
+        rows = list(rows)
+        for row in rows:
+            self.db.apply(StreamEvent(relation, sign, tuple(row)))
+        self.events_processed += len(rows)
+        if self.refresh == "eager" and rows:
+            self._refresh()
+        return len(rows)
+
+    def process_stream(
+        self, events: Iterable, batch_size: Optional[int] = 1
+    ) -> int:
+        """Default ``batch_size=1`` preserves this baseline's defining
+        semantics — a refresh per update; pass a larger size only for
+        explicitly batched comparisons."""
         count = 0
-        for event in flatten(events):
-            self.process(event)
-            count += 1
+        for batch in batches(events, batch_size):
+            self.process_batch(batch.relation, batch.sign, batch.rows)
+            count += len(batch.rows)
         return count
+
+    def _refresh(self) -> None:
+        for name, bound in self.bound.items():
+            self._cached[name] = execute_query(bound, self.db)
 
     def insert(self, relation: str, *values) -> None:
         self.process(StreamEvent(relation, 1, tuple(values)))

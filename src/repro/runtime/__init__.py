@@ -14,12 +14,21 @@ The runtime executes a :class:`~repro.compiler.program.CompiledProgram`:
   demo's step-tracing and per-map profiling tools.
 """
 
-from repro.runtime.events import StreamEvent, insert, delete, update
+from repro.runtime.events import (
+    EventBatch,
+    StreamEvent,
+    batches,
+    insert,
+    delete,
+    update,
+)
 from repro.runtime.engine import DeltaEngine
 from repro.runtime.views import query_results, result_rows_to_dicts
 
 __all__ = [
+    "EventBatch",
     "StreamEvent",
+    "batches",
     "insert",
     "delete",
     "update",

@@ -4,12 +4,17 @@ Per the paper's data model, a database is a set of relations each subject to
 an arbitrary sequence of inserts, updates and deletes — *not* windowed
 streams.  An update is represented as a delete of the old tuple followed by
 an insert of the new one (the paper makes the same reduction).
+
+Besides single events, the runtime supports *batched* delivery: a stream is
+grouped into :class:`EventBatch` runs of consecutive events sharing one
+``(relation, sign)``, so the engine can dispatch each run with a single
+trigger call (see :meth:`repro.runtime.engine.DeltaEngine.process_batch`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import EventError
 
@@ -54,10 +59,72 @@ def update(relation: str, old: Sequence, new: Sequence) -> tuple[StreamEvent, St
 
 
 def flatten(events: Iterable) -> Iterator[StreamEvent]:
-    """Flatten a stream that may contain update pairs (tuples of events)."""
+    """Flatten a stream that may contain update pairs (tuples of events).
+
+    :class:`EventBatch` items are iterable over their events, so batched
+    streams flatten transparently as well.
+    """
     for item in events:
         if isinstance(item, StreamEvent):
             yield item
         else:
             for sub in item:
                 yield sub
+
+
+@dataclass
+class EventBatch:
+    """A run of consecutive events sharing one ``(relation, sign)``.
+
+    ``rows`` holds the event value tuples in stream order.  A batch is the
+    unit of the engine's batched execution path: one generated trigger call
+    applies all rows, amortising per-event dispatch overhead.
+    """
+
+    relation: str
+    sign: int
+    rows: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise EventError(f"batch sign must be +1 or -1, got {self.sign!r}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        """The batch as its constituent events (keeps ``flatten`` uniform)."""
+        for row in self.rows:
+            yield StreamEvent(self.relation, self.sign, tuple(row))
+
+    def __repr__(self) -> str:
+        symbol = "+" if self.sign == 1 else "-"
+        return f"{symbol}{self.relation}[{len(self.rows)} rows]"
+
+
+def batches(events: Iterable, batch_size: Optional[int] = None) -> Iterator[EventBatch]:
+    """Group a stream into consecutive same-``(relation, sign)`` batches.
+
+    Update pairs (and pre-existing batches) are flattened first, so the
+    concatenation of the yielded batches replays the input stream exactly —
+    batched execution therefore observes the same event order as per-event
+    execution.  ``batch_size`` caps the rows per batch (``None`` leaves runs
+    unbounded).
+    """
+    if batch_size is not None and batch_size < 1:
+        raise EventError(f"batch_size must be >= 1, got {batch_size!r}")
+    current: Optional[EventBatch] = None
+    for event in flatten(events):
+        if (
+            current is not None
+            and event.relation == current.relation
+            and event.sign == current.sign
+            and (batch_size is None or len(current.rows) < batch_size)
+        ):
+            current.rows.append(event.values)
+            continue
+        if current is not None:
+            yield current
+        current = EventBatch(event.relation, event.sign, [event.values])
+    if current is not None:
+        yield current

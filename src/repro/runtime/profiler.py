@@ -31,6 +31,12 @@ class Profiler:
         key = f"{'+' if event.sign == 1 else '-'}{event.relation}"
         self.events_by_trigger[key] = self.events_by_trigger.get(key, 0) + 1
 
+    def record_batch(self, relation: str, sign: int, count: int) -> None:
+        """One batched trigger dispatch covering ``count`` events."""
+        self.events += count
+        key = f"{'+' if sign == 1 else '-'}{relation}"
+        self.events_by_trigger[key] = self.events_by_trigger.get(key, 0) + count
+
     def record_statement(self, target_map: str, updates: int) -> None:
         self.statement_runs[target_map] = self.statement_runs.get(target_map, 0) + 1
         self.map_updates[target_map] = self.map_updates.get(target_map, 0) + updates

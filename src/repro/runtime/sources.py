@@ -4,17 +4,22 @@ The paper's runtime accepts input "over a network interface or archived
 stream"; here the equivalents are iterables, CSV files and generator
 adapters.  Every source yields :class:`~repro.runtime.events.StreamEvent`
 objects, so ``engine.process_stream(source)`` works uniformly.
+
+Any source can also be delivered in batches (:func:`batch_source`): the
+events are grouped into consecutive same-``(relation, sign)`` runs that the
+engine dispatches with one trigger call each.  Batches flatten back to their
+events, so batched sources remain valid inputs to ``process_stream``.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import EventError
 from repro.sql.catalog import Catalog, Relation, SqlType
-from repro.runtime.events import StreamEvent
+from repro.runtime.events import EventBatch, StreamEvent, batches
 
 
 def list_source(events: Iterable[StreamEvent]) -> Iterator[StreamEvent]:
@@ -81,6 +86,27 @@ def generator_source(
 ) -> Iterator[StreamEvent]:
     """Adapter for generator-producing callables (workload generators)."""
     yield from make_events()
+
+
+def batch_source(
+    events: Iterable, batch_size: Optional[int] = None
+) -> Iterator[EventBatch]:
+    """Deliver any event source as consecutive same-trigger batches.
+
+    Wraps :func:`repro.runtime.events.batches`; use with
+    ``engine.process_batch(batch.relation, batch.sign, batch.rows)`` or feed
+    the batches straight back to ``process_stream`` (they flatten).
+    """
+    yield from batches(events, batch_size)
+
+
+def csv_batch_source(
+    path: str | Path,
+    catalog: Catalog,
+    batch_size: Optional[int] = None,
+) -> Iterator[EventBatch]:
+    """An archived CSV stream delivered in batches (see :func:`csv_source`)."""
+    yield from batches(csv_source(path, catalog), batch_size)
 
 
 def coerce_row(relation: Relation, values: Sequence) -> tuple:

@@ -75,6 +75,13 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _batch_kwargs(args) -> dict:
+    """Pass --batch-size through only when given (engine default otherwise)."""
+    if args.batch_size is None:
+        return {}
+    return {"batch_size": args.batch_size}
+
+
 def cmd_bench(args) -> int:
     if args.workload == "finance":
         from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
@@ -85,7 +92,9 @@ def cmd_bench(args) -> int:
         program = compile_sql(sql, catalog, name="q")
         engine = DeltaEngine(program, mode=args.mode)
         start = time.perf_counter()
-        count = engine.process_stream(OrderBookGenerator(seed=1).events(args.events))
+        count = engine.process_stream(
+            OrderBookGenerator(seed=1).events(args.events), **_batch_kwargs(args)
+        )
         elapsed = time.perf_counter() - start
     elif args.workload == "warehouse":
         from repro.workloads.ssb import (
@@ -101,7 +110,9 @@ def cmd_bench(args) -> int:
         engine = DeltaEngine(program, mode=args.mode)
         load_static_tables(engine, generator)
         start = time.perf_counter()
-        count = engine.process_stream(warehouse_stream(generator))
+        count = engine.process_stream(
+            warehouse_stream(generator), **_batch_kwargs(args)
+        )
         elapsed = time.perf_counter() - start
     else:
         raise SystemExit(f"unknown workload {args.workload!r}")
@@ -145,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--events", type=int, default=20_000)
     p_bench.add_argument("--mode", choices=["compiled", "interpreted"],
                          default="compiled")
+    p_bench.add_argument("--batch-size", type=int, default=None,
+                         help="cap rows per dispatched batch "
+                         "(default: the engine's bounded default)")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -141,12 +141,19 @@ def warehouse_stream(generator: TpchGenerator) -> Iterator[StreamEvent]:
 
 
 def load_static_tables(engine, generator: TpchGenerator) -> int:
-    """Bulk-load every dimension table into an engine; returns row count."""
+    """Bulk-load every dimension table into an engine; returns row count.
+
+    Engines with a batched ``load`` (the delta engine) take each dimension
+    as one batch; baselines without it fall back to per-row inserts.
+    """
     count = 0
     for relation, rows in generator.static_tables().items():
-        for row in rows:
-            engine.insert(relation, *row)
-            count += 1
+        if hasattr(engine, "load"):
+            count += engine.load(relation, rows)
+        else:
+            for row in rows:
+                engine.insert(relation, *row)
+                count += 1
     return count
 
 

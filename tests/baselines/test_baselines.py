@@ -87,6 +87,26 @@ class TestAgreementWithDBToaster:
             StreamOpEngine({"q": QUERIES[name]}, catalog)
 
 
+class TestBatchedDelivery:
+    """Every bakeoff engine accepts batches and agrees with itself per-event."""
+
+    @pytest.mark.parametrize(
+        "kind", ["dbtoaster", "dbtoaster_interp", "ivm", "streamops", "reeval"]
+    )
+    def test_batched_stream_matches_per_event(self, kind, catalog):
+        sql = QUERIES["two_way_grouped"]
+        per_event = make_engine(kind, {"q": sql}, catalog)
+        batched = make_engine(kind, {"q": sql}, catalog)
+        events = random_stream(relations_for(sql, catalog), 120, seed=3)
+        drive(per_event, events)
+        count = batched.process_stream(events, batch_size=16)
+        assert count == 120
+        assert batched.events_processed == per_event.events_processed
+        assert sorted(batched.results("q"), key=repr) == sorted(
+            per_event.results("q"), key=repr
+        )
+
+
 class TestEngineFactory:
     def test_all_kinds_constructible(self, catalog):
         for kind in ENGINE_KINDS:

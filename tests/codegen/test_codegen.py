@@ -86,6 +86,52 @@ class TestPythonGeneration:
         source = generate_module(program)
         assert "if ev_bids_price > 100:" in source
 
+    def test_batch_variant_per_trigger(self, program):
+        source = generate_module(program)
+        for trigger in program.triggers.values():
+            assert f"def {trigger.name}_batch(__rows" in source
+
+    def test_batch_variant_unpacks_rows_in_loop_header(self, program):
+        source = generate_module(program)
+        trigger = program.trigger_for("R", 1)
+        body = source.split(f"def {trigger.name}_batch")[1].split("\ndef ")[0]
+        assert f"for {', '.join(trigger.params)} in __rows:" in body
+
+    def test_batch_executor_matches_per_event(self, program):
+        per_event = CompiledExecutor(program)
+        batched = CompiledExecutor(program)
+        maps_a = {name: {} for name in program.maps}
+        maps_b = {name: {} for name in program.maps}
+        per_event.bind(maps_a)
+        batched.bind(maps_b)
+        trigger = program.trigger_for("R", 1)
+        rows = [(2, 10), (3, 10), (2, 10)]
+        for row in rows:
+            per_event.execute(trigger, row, maps_a)
+        batched.execute_batch(trigger, rows, maps_b)
+        assert maps_a == maps_b
+
+    def test_independent_trigger_accumulates_batch_delta(self, catalog):
+        """A scalar aggregate whose trigger never reads its own writes
+        accumulates the batch delta locally and applies it once."""
+        program = compile_sql("SELECT sum(volume) FROM bids", catalog)
+        source = generate_module(program)
+        body = source.split("def on_insert_bids_batch")[1].split("\ndef ")[0]
+        assert "__b0 = 0" in body
+        assert "__b0 +=" in body
+
+    def test_self_reading_trigger_keeps_per_row_applies(self, catalog):
+        """vwap-style triggers read the maps they maintain, so each row must
+        see the previous row's writes — no batch-delta accumulation."""
+        program = compile_sql(
+            "SELECT sum(b.volume) FROM bids b "
+            "WHERE b.volume > 0.5 * (SELECT sum(b1.volume) FROM bids b1)",
+            catalog,
+        )
+        source = generate_module(program)
+        body = source.split("def on_insert_bids_batch")[1].split("\ndef ")[0]
+        assert "__b0" not in body
+
 
 class TestCppGeneration:
     def test_declares_every_map(self, program):

@@ -7,7 +7,7 @@ from repro.compiler import compile_sql, compile_queries
 from repro.algebra.translate import translate_sql
 from repro.runtime import DeltaEngine, StreamEvent, insert, delete, update
 from repro.runtime.debugger import Debugger
-from repro.runtime.events import flatten
+from repro.runtime.events import EventBatch, batches, flatten
 from repro.runtime.profiler import (
     Profiler,
     map_memory_bytes,
@@ -15,7 +15,9 @@ from repro.runtime.profiler import (
     total_memory_bytes,
 )
 from repro.runtime.sources import (
+    batch_source,
     coerce_row,
+    csv_batch_source,
     csv_source,
     list_source,
     relation_loader,
@@ -128,6 +130,119 @@ class TestEngineAPI:
             DeltaEngine(compile_sql(GROUPED, catalog), mode="quantum")
 
 
+class TestBatching:
+    def test_batches_groups_consecutive_runs(self):
+        stream = [
+            insert("bids", 1, 10, 1),
+            insert("bids", 2, 20, 2),
+            delete("bids", 1, 10, 1),
+            insert("asks", 3, 30, 3),
+            insert("asks", 4, 40, 4),
+        ]
+        runs = list(batches(stream))
+        assert [(b.relation, b.sign, len(b)) for b in runs] == [
+            ("bids", 1, 2), ("bids", -1, 1), ("asks", 1, 2),
+        ]
+
+    def test_batches_respects_batch_size_cap(self):
+        stream = [insert("bids", i, 10, 1) for i in range(5)]
+        runs = list(batches(stream, batch_size=2))
+        assert [len(b) for b in runs] == [2, 2, 1]
+
+    def test_batches_flattens_update_pairs_and_batches(self):
+        stream = [
+            update("bids", (1, 10, 1), (1, 20, 1)),
+            EventBatch("bids", 1, [(2, 30, 2)]),
+        ]
+        runs = list(batches(stream))
+        assert [(b.relation, b.sign) for b in runs] == [
+            ("bids", -1), ("bids", 1),
+        ]
+        assert runs[1].rows == [(1, 20, 1), (2, 30, 2)]
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(EventError):
+            list(batches([], batch_size=0))
+
+    def test_event_batch_rejects_bad_sign(self):
+        with pytest.raises(EventError):
+            EventBatch("bids", 0, [])
+
+    def test_process_batch_matches_per_event(self, catalog):
+        program = compile_sql(GROUPED, catalog)
+        reference = DeltaEngine(program)
+        batched = DeltaEngine(program)
+        rows = [(1, 10, 5), (1, 20, 2), (2, 30, 1)]
+        for row in rows:
+            reference.insert("bids", *row)
+        assert batched.process_batch("bids", 1, rows) == 3
+        assert batched.maps == reference.maps
+        assert batched.events_processed == 3
+
+    def test_process_stream_batches_and_counts_skipped(self, engine):
+        stream = [
+            insert("bids", 1, 10, 1),
+            insert("unknown", 9),
+            insert("bids", 1, 20, 2),
+        ]
+        assert engine.process_stream(stream, batch_size=10) == 3
+        assert engine.events_processed == 2
+        assert engine.events_skipped == 1
+        assert engine.results() == [(1, 50)]
+
+    def test_process_batch_strict_unknown_relation(self, catalog):
+        strict = DeltaEngine(compile_sql(GROUPED, catalog), strict=True)
+        with pytest.raises(UnknownStreamError):
+            strict.process_batch("nope", 1, [(1,)])
+
+    def test_process_batch_static_table_rules(self):
+        catalog = Catalog.from_script(
+            "CREATE TABLE dim (k int, v int);"
+            "CREATE STREAM fact (k int, x int);"
+        )
+        engine = DeltaEngine(compile_sql(
+            "SELECT sum(f.x * d.v) FROM fact f, dim d WHERE f.k = d.k",
+            catalog,
+        ))
+        with pytest.raises(EventError):
+            engine.process_batch("dim", -1, [(1, 2)])
+        engine.load("dim", [(1, 2), (2, 3)])
+        engine.process_batch("fact", 1, [(1, 10), (2, 100)])
+        assert engine.result_scalar() == 320
+        with pytest.raises(EventError):
+            engine.process_batch("dim", 1, [(3, 4)])  # stream started
+
+    def test_empty_batch_is_a_noop(self, engine):
+        assert engine.process_batch("bids", 1, []) == 0
+        assert engine.events_processed == 0
+
+    def test_interpreted_batch_matches_compiled_batch(self, catalog):
+        program = compile_sql(GROUPED, catalog)
+        compiled = DeltaEngine(program, mode="compiled")
+        interpreted = DeltaEngine(program, mode="interpreted")
+        rows = [(1, 10, 5), (2, 20, 1), (1, 10, -5)]
+        compiled.process_batch("bids", 1, rows)
+        interpreted.process_batch("bids", 1, rows)
+        assert compiled.results() == interpreted.results()
+
+    def test_profiler_counts_batched_events(self, catalog):
+        profiler = Profiler()
+        engine = DeltaEngine(compile_sql(GROUPED, catalog), profiler=profiler)
+        engine.process_batch("bids", 1, [(1, 10, 1), (1, 20, 2)])
+        assert profiler.events == 2
+        assert profiler.events_by_trigger == {"+bids": 2}
+
+    def test_deepcopy_preserves_skip_counter(self, engine):
+        import copy
+
+        engine.insert("bids", 1, 10, 1)
+        engine.insert("nonexistent", 1)
+        clone = copy.deepcopy(engine)
+        assert clone.events_skipped == 1
+        assert clone.events_processed == 1
+        assert clone.maps == engine.maps
+
+
 class TestViews:
     def test_min_max_rendering(self, catalog):
         sql = "SELECT broker_id, min(price), max(price) FROM bids GROUP BY broker_id"
@@ -190,6 +305,21 @@ class TestSources:
     def test_coerce_row_types(self, catalog):
         relation = catalog.get("bids")
         assert coerce_row(relation, ["1", "2", "3"]) == (1, 2, 3)
+
+    def test_batch_source_groups_and_feeds_engine(self, engine):
+        stream = [insert("bids", 1, 10, 1), insert("bids", 1, 20, 2)]
+        delivered = list(batch_source(stream))
+        assert len(delivered) == 1 and len(delivered[0]) == 2
+        # Batches flatten back to events, so process_stream accepts them.
+        engine.process_stream(delivered)
+        assert engine.results() == [(1, 50)]
+
+    def test_csv_batch_source_round_trip(self, tmp_path, catalog, engine):
+        path = tmp_path / "stream.csv"
+        write_csv(path, [insert("bids", 1, 100, 5), insert("bids", 2, 30, 2)])
+        (batch,) = list(csv_batch_source(path, catalog))
+        assert engine.process_batch(batch.relation, batch.sign, batch.rows) == 2
+        assert engine.results() == [(1, 500), (2, 60)]
 
 
 class TestDebugger:
