@@ -16,8 +16,10 @@ expose the same measurements through pytest-benchmark.
 from __future__ import annotations
 
 import copy
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.baselines import UnsupportedQueryError, make_engine
@@ -152,6 +154,49 @@ def measure_batched(
         elapsed = time.perf_counter() - start
         best = min(best, elapsed / max(count, 1))
     return 1.0 / best if best > 0 else float("inf")
+
+
+def calibration_score(rounds: int = 3) -> float:
+    """Machine-speed normaliser for cross-run benchmark comparison.
+
+    Ops/second of a fixed synthetic loop with the same shape as the
+    trigger hot path (tuple keys, ``dict.get`` + add, zero eviction).
+    The CI regression gate compares events/sec *relative* to this score,
+    so a committed baseline stays meaningful on faster or slower hosts.
+    """
+    n_ops = 200_000
+    best = float("inf")
+    for _ in range(rounds):
+        contents: dict = {}
+        start = time.perf_counter()
+        for i in range(n_ops):
+            key = (i % 1024,)
+            current = contents.get(key, 0) + (i % 7) - 3
+            if current == 0:
+                contents.pop(key, None)
+            else:
+                contents[key] = current
+        best = min(best, time.perf_counter() - start)
+    return n_ops / best
+
+
+def write_bench_json(
+    path: str | Path, benchmark: str, metrics: dict[str, float]
+) -> None:
+    """Persist one benchmark run for the CI regression gate.
+
+    The file carries the raw events/sec ``metrics`` plus the host's
+    :func:`calibration_score`; ``benchmarks/check_regression.py`` compares
+    normalised (metric / calibration) values against the committed
+    ``benchmarks/baseline.json``.
+    """
+    payload = {
+        "benchmark": benchmark,
+        "calibration": calibration_score(),
+        "metrics": {key: value for key, value in sorted(metrics.items())},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(metrics)} metrics)")
 
 
 def run_bakeoff(

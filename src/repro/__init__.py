@@ -11,11 +11,18 @@ EXPERIMENTS.md for the reproduction of the paper's evaluation.
 """
 
 from repro.sql.catalog import Catalog
-from repro.compiler import CompileOptions, compile_queries, compile_sql
+from repro.compiler import (
+    CompileOptions,
+    PartitionSpec,
+    analyze_partitioning,
+    compile_queries,
+    compile_sql,
+)
 from repro.algebra.translate import translate_sql
 from repro.runtime import (
     DeltaEngine,
     EventBatch,
+    ShardedEngine,
     StreamEvent,
     batches,
     insert,
@@ -23,16 +30,19 @@ from repro.runtime import (
     update,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Catalog",
     "CompileOptions",
+    "PartitionSpec",
+    "analyze_partitioning",
     "compile_queries",
     "compile_sql",
     "translate_sql",
     "DeltaEngine",
     "EventBatch",
+    "ShardedEngine",
     "StreamEvent",
     "batches",
     "insert",

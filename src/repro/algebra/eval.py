@@ -241,7 +241,7 @@ def _eval_add(
         if extra:
             raise SchemaError(
                 f"addition branch {term!r} binds {extra} not bound by all "
-                f"branches"
+                "branches"
             )
         missing = [c for c in target if c not in tcols]
         if missing and trows:

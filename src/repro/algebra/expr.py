@@ -14,7 +14,7 @@ the variable is already bound).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
 from repro.errors import AlgebraError

@@ -49,7 +49,7 @@ from repro.algebra.expr import (
     substitute,
 )
 from repro.algebra.expr import used_vars
-from repro.algebra.schema import free_vars, input_vars, output_vars
+from repro.algebra.schema import output_vars
 
 _MAX_PASSES = 12
 

@@ -20,7 +20,7 @@ view layer evaluates to produce final rows.  Design decisions that matter:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.errors import TranslationError

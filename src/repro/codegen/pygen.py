@@ -37,7 +37,6 @@ from repro.algebra.expr import (
     MapRef,
     Mul,
     Neg,
-    Rel,
     Var,
 )
 from repro.algebra.simplify import monomials
@@ -123,6 +122,8 @@ def generate_module(program: CompiledProgram, use_indexes: bool = True) -> str:
     dictionaries, maintained inline by every writer and used by loops to
     touch only matching entries.
     """
+    from repro.compiler.partition import analyze_partitioning
+
     indexes = collect_patterns(program) if use_indexes else {}
     emitter = Emitter()
     emitter.line('"""Generated delta-processing triggers (do not edit).')
@@ -131,6 +132,12 @@ def generate_module(program: CompiledProgram, use_indexes: bool = True) -> str:
     emitter.line("maps (and secondary indexes) are bound as default arguments")
     emitter.line("at exec time.  Each trigger has a per-event function and a")
     emitter.line("*_batch variant applying a whole row list per call.")
+    emitter.line("")
+    # Shard-routing metadata: which event column each relation's batches
+    # may be hash-partitioned on (see repro.compiler.partition); stamped
+    # here so the generated artifact documents its own parallelism.
+    for line in analyze_partitioning(program).describe().splitlines():
+        emitter.line(line)
     emitter.line('"""')
     emitter.blank()
     emitter.line("def _div(n, d):")

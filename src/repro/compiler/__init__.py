@@ -17,6 +17,7 @@ from repro.compiler.program import (
     Trigger,
 )
 from repro.compiler.compile import compile_queries, compile_sql
+from repro.compiler.partition import PartitionSpec, analyze_partitioning
 
 __all__ = [
     "CompiledProgram",
@@ -24,6 +25,8 @@ __all__ = [
     "MapDef",
     "Statement",
     "Trigger",
+    "PartitionSpec",
+    "analyze_partitioning",
     "compile_queries",
     "compile_sql",
 ]

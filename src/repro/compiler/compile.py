@@ -153,6 +153,13 @@ def compile_queries(
                 statements=ordered,
             )
 
+    from repro.sql.catalog import SqlType
+
+    float_relations = frozenset(
+        rel
+        for rel in all_relations
+        if any(c.type is SqlType.FLOAT for c in catalog.get(rel).columns)
+    )
     return CompiledProgram(
         queries=queries,
         maps=dict(registry.maps),
@@ -160,6 +167,7 @@ def compile_queries(
         slot_maps=slot_maps,
         options=options,
         static_relations=static_relations,
+        float_relations=float_relations,
     )
 
 

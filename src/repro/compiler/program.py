@@ -13,10 +13,10 @@ A :class:`CompiledProgram` is the compiler's output and the runtime's input:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.errors import CompilationError
-from repro.algebra.expr import Expr, MapRef, maps_in, used_vars, walk
+from repro.algebra.expr import Expr, maps_in
 from repro.algebra.schema import output_vars
 from repro.algebra.translate import TranslatedQuery
 
@@ -121,6 +121,10 @@ class CompiledProgram:
     #: relations declared as static tables: they must be fully loaded
     #: before the first stream event (the engine enforces this).
     static_relations: set[str] = field(default_factory=set)
+    #: relations with at least one FLOAT column: maps over them may carry
+    #: non-integer ring values, which the partitioning analysis must keep
+    #: off cross-shard summation (float addition is order-sensitive).
+    float_relations: frozenset[str] = frozenset()
 
     def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
         return self.triggers.get((relation, sign))

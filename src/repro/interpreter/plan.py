@@ -8,7 +8,7 @@ plan-build time.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.interpreter.relations import Table
 

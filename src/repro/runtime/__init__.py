@@ -6,6 +6,10 @@ The runtime executes a :class:`~repro.compiler.program.CompiledProgram`:
   either *compiled* mode (generated Python trigger functions, the stand-in
   for the paper's C++ path) or *interpreted* mode (the statement walker,
   used as the interpreter-overhead ablation);
+* :class:`~repro.runtime.engine.ShardedEngine` — N-way sharded parallel
+  execution: batches hash-routed by the compiler's partition columns to
+  per-shard engines (optionally forked worker processes), with key-wise
+  merged results;
 * :mod:`~repro.runtime.views` — renders SQL-visible results from the
   maintained maps (avg division, min/max extraction, group existence);
 * :mod:`~repro.runtime.sources` — stream adapters (lists, files, generators)
@@ -20,9 +24,10 @@ from repro.runtime.events import (
     batches,
     insert,
     delete,
+    partition_rows,
     update,
 )
-from repro.runtime.engine import DeltaEngine
+from repro.runtime.engine import DeltaEngine, ShardedEngine
 from repro.runtime.views import query_results, result_rows_to_dicts
 
 __all__ = [
@@ -31,8 +36,10 @@ __all__ = [
     "batches",
     "insert",
     "delete",
+    "partition_rows",
     "update",
     "DeltaEngine",
+    "ShardedEngine",
     "query_results",
     "result_rows_to_dicts",
 ]

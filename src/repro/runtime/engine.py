@@ -23,6 +23,18 @@ lookup, static-table checks, profiler hooks, one call per event) is paid
 once per batch.  :meth:`DeltaEngine.process_stream` groups consecutive
 same-trigger events into such runs automatically; results are identical to
 per-event processing because rows apply in stream order.
+
+On top of the single engine, :class:`ShardedEngine` runs *sharded parallel*
+delta processing: the compiler's partitioning analysis
+(:func:`repro.compiler.partition.analyze_partitioning`) determines which
+event column every map access of a trigger is keyed on, batches are
+hash-routed by that column to N per-shard :class:`DeltaEngine` lanes (plus
+a serial lane for non-partitionable triggers), and ``results()`` /
+``map_view()`` merge the lane maps key-wise.  With ``parallel=True`` the
+shard lanes are forked worker processes fed over pipes, so trigger
+execution overlaps across cores; otherwise shards run in-process, which
+keeps the routing/merge semantics (and the tests) identical without any
+IPC.
 """
 
 from __future__ import annotations
@@ -32,13 +44,14 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.errors import EventError, UnknownStreamError
 from repro.algebra.eval import eval_expr, eval_scalar
+from repro.compiler.partition import PartitionSpec, analyze_partitioning
 from repro.compiler.program import (
     CompiledProgram,
     Statement,
     Trigger,
     needs_buffering,
 )
-from repro.runtime.events import StreamEvent, batches
+from repro.runtime.events import StreamEvent, batches, partition_rows
 
 #: Default rows-per-batch cap for ``process_stream``: large enough to
 #: amortise dispatch, small enough that grouping an archived single-relation
@@ -171,8 +184,6 @@ class DeltaEngine:
         to the *original* maps; instead the copy rebinds a fresh executor
         over copied maps (the immutable program is shared).
         """
-        import copy as _copy
-
         clone = DeltaEngine(
             self.program,
             mode=self.mode,
@@ -350,3 +361,409 @@ class DeltaEngine:
 
     def total_entries(self) -> int:
         return sum(len(contents) for contents in self.maps.values())
+
+
+# ---------------------------------------------------------------------------
+# Sharded parallel delta processing
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker_main(conn, program, mode, use_indexes) -> None:
+    """One shard worker: a private :class:`DeltaEngine` fed over a pipe.
+
+    Batches apply fire-and-forget; the first trigger failure is remembered
+    and surfaced on the next ``sync``/``collect`` round-trip (subsequent
+    batches are dropped, as the shard state is no longer trustworthy).
+    """
+    engine = DeltaEngine(program, mode=mode, strict=False, use_indexes=use_indexes)
+    failure = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        op = message[0]
+        if op == "batch":
+            if failure is None:
+                try:
+                    engine.process_batch(message[1], message[2], message[3])
+                except Exception as exc:  # surfaced on the next sync
+                    failure = f"{type(exc).__name__}: {exc}"
+        elif op == "sync":
+            if failure is not None:
+                conn.send(("error", failure))
+            else:
+                conn.send(("ok", engine.events_processed))
+        elif op == "collect":
+            if failure is not None:
+                conn.send(("error", failure))
+            else:
+                conn.send(("maps", engine.maps, engine.events_processed))
+        else:  # "stop"
+            break
+    conn.close()
+
+
+class _ProcessLane:
+    """Coordinator-side handle of one forked shard worker."""
+
+    def __init__(self, ctx, program, mode, use_indexes) -> None:
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(child, program, mode, use_indexes),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+
+    def send_batch(self, relation: str, sign: int, rows: list) -> None:
+        try:
+            self._conn.send(("batch", relation, sign, rows))
+        except (BrokenPipeError, OSError) as exc:
+            raise EventError(
+                f"shard worker died (pid {self._pid()}): {exc}"
+            ) from exc
+
+    def _round_trip(self, request: tuple) -> tuple:
+        try:
+            self._conn.send(request)
+            reply = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            # The worker process vanished (crash, OOM kill, interrupt):
+            # surface it through the same contract as trigger failures.
+            raise EventError(
+                f"shard worker died (pid {self._pid()}): {exc}"
+            ) from exc
+        if reply[0] == "error":
+            raise EventError(f"shard worker failed: {reply[1]}")
+        return reply
+
+    def _pid(self):
+        return self._proc.pid if self._proc is not None else "?"
+
+    def sync(self) -> None:
+        self._round_trip(("sync",))
+
+    def events_processed(self) -> int:
+        return self._round_trip(("sync",))[1]
+
+    def collect_maps(self) -> dict[str, dict]:
+        return self._round_trip(("collect",))[1]
+
+    def close(self) -> None:
+        if self._proc is None:
+            return
+        try:
+            self._conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        self._conn.close()
+        self._proc = None
+
+
+class _LocalLane:
+    """An in-process shard lane (no IPC; used by tests and small runs)."""
+
+    def __init__(self, engine: DeltaEngine) -> None:
+        self.engine = engine
+
+    def send_batch(self, relation: str, sign: int, rows: list) -> None:
+        self.engine.process_batch(relation, sign, rows)
+
+    def sync(self) -> None:
+        pass
+
+    def events_processed(self) -> int:
+        return self.engine.events_processed
+
+    def collect_maps(self) -> dict[str, dict]:
+        return self.engine.maps
+
+    def close(self) -> None:
+        pass
+
+
+def _merge_lane_maps(
+    program: CompiledProgram, lane_maps: Iterable[Mapping[str, Mapping]]
+) -> dict[str, dict]:
+    """Key-wise sum of per-lane maps, dropping zeros.
+
+    Correct uniformly across the three ownership classes of the partition
+    spec: sharded read maps hold disjoint key slices per lane (sum ==
+    disjoint union), serial-lane maps are empty everywhere else, and
+    additive maps accumulate genuine partial sums.
+    """
+    merged: dict[str, dict] = {name: {} for name in program.maps}
+    for maps in lane_maps:
+        for name, contents in maps.items():
+            if not contents:
+                continue
+            target = merged[name]
+            for key, value in contents.items():
+                total = target.get(key, 0) + value
+                if total == 0:
+                    target.pop(key, None)
+                else:
+                    target[key] = total
+    return merged
+
+
+class ShardedEngine:
+    """N-way sharded parallel execution of a compiled delta program.
+
+    Batches are hash-routed by each relation's partition column (from
+    :func:`repro.compiler.partition.analyze_partitioning`) to per-shard
+    :class:`DeltaEngine` lanes; relations the analysis cannot partition run
+    on a built-in serial lane.  Lane maps are disjoint by construction, so
+    :meth:`results` / :meth:`map_view` merge them key-wise and equal a
+    single-engine run over the same stream.
+
+    ``parallel=True`` forks one worker process per shard (POSIX only;
+    silently falls back to in-process lanes where ``fork`` is unavailable)
+    and overlaps trigger execution across cores — the engine-side
+    realisation of the ROADMAP's "parallel shards" follow-up.  Reads
+    (``results``, ``map_view``, ``events_processed``...) synchronise with
+    the workers first, so they always observe a consistent merged state.
+
+    A program with no partitionable relation degrades gracefully: every
+    batch runs on the serial lane and the engine behaves exactly like a
+    single :class:`DeltaEngine`.
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        shards: int = 2,
+        mode: str = "compiled",
+        parallel: bool = False,
+        strict: bool = False,
+        use_indexes: bool = True,
+        spec: Optional[PartitionSpec] = None,
+    ) -> None:
+        if shards < 1:
+            raise EventError(f"shard count must be >= 1, got {shards!r}")
+        self.program = program
+        self.spec = spec if spec is not None else analyze_partitioning(program)
+        self.shards = shards
+        self.mode = mode
+        self.strict = strict
+        self.use_indexes = use_indexes
+        self.events_skipped = 0
+        self._relations = {rel for rel, _ in program.triggers}
+        self._stream_started = False
+        self._serial = DeltaEngine(
+            program, mode=mode, strict=False, use_indexes=use_indexes
+        )
+        self.parallel = False
+        self._closed = False
+        self._lanes: list = []
+        if self.spec.partitionable and shards > 1:
+            if parallel:
+                ctx = self._fork_context()
+                if ctx is not None:
+                    self._lanes = [
+                        _ProcessLane(ctx, program, mode, use_indexes)
+                        for _ in range(shards)
+                    ]
+                    self.parallel = True
+            if not self._lanes:
+                self._lanes = [
+                    _LocalLane(
+                        DeltaEngine(
+                            program,
+                            mode=mode,
+                            strict=False,
+                            use_indexes=use_indexes,
+                        )
+                    )
+                    for _ in range(shards)
+                ]
+
+    @staticmethod
+    def _fork_context():
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+
+    # -- event processing -------------------------------------------------
+
+    def process(self, event: StreamEvent) -> None:
+        """Apply one insert/delete event (routed like a one-row batch)."""
+        self.process_batch(event.relation, event.sign, [event.values])
+
+    def process_batch(
+        self, relation: str, sign: int, rows: Sequence[Sequence]
+    ) -> int:
+        """Route one same-``(relation, sign)`` run to its lane(s).
+
+        Semantics match :meth:`DeltaEngine.process_batch`; the static-table
+        ordering rules are enforced here, globally, because lane-local
+        stream state is only a partial view.
+        """
+        self._check_open()
+        rows = rows if isinstance(rows, list) else list(rows)
+        if not rows:
+            return 0
+        if relation in self.program.static_relations:
+            if self._stream_started:
+                raise EventError(
+                    f"static table {relation!r} cannot change after "
+                    "stream processing has started; declare it as a STREAM "
+                    "if it receives online updates"
+                )
+            if sign != 1:
+                raise EventError(
+                    f"static table {relation!r} only supports bulk-load "
+                    "inserts"
+                )
+        elif relation in self._relations:
+            self._stream_started = True
+        if self.program.triggers.get((relation, sign)) is None:
+            if relation not in self._relations:
+                if self.strict:
+                    raise UnknownStreamError(
+                        f"no standing query reads relation {relation!r}"
+                    )
+                self.events_skipped += len(rows)
+            return 0
+        column = self.spec.column_for(relation)
+        if column is None or not self._lanes:
+            self._serial.process_batch(relation, sign, rows)
+            return len(rows)
+        for shard, shard_rows in enumerate(
+            partition_rows(rows, column, len(self._lanes))
+        ):
+            if shard_rows:
+                self._lanes[shard].send_batch(relation, sign, shard_rows)
+        return len(rows)
+
+    def process_stream(
+        self, events: Iterable, batch_size: Optional[int] = DEFAULT_BATCH_SIZE
+    ) -> int:
+        """Batch, route and apply a whole stream (see
+        :meth:`DeltaEngine.process_stream` for the contract)."""
+        count = 0
+        for batch in batches(events, batch_size):
+            self.process_batch(batch.relation, batch.sign, batch.rows)
+            count += len(batch.rows)
+        return count
+
+    def insert(self, relation: str, *values) -> None:
+        self.process(StreamEvent(relation, 1, tuple(values)))
+
+    def delete(self, relation: str, *values) -> None:
+        self.process(StreamEvent(relation, -1, tuple(values)))
+
+    def load(self, relation: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-load a (static) table through the sharded batch path."""
+        rows = [tuple(row) for row in rows]
+        self.process_batch(relation, 1, rows)
+        return len(rows)
+
+    def sync(self) -> None:
+        """Barrier: wait until every shard worker has drained its pipe.
+
+        Raises :class:`~repro.errors.EventError` if any worker's trigger
+        execution failed.  A no-op for in-process lanes.
+        """
+        for lane in self._lanes:
+            lane.sync()
+
+    @property
+    def events_processed(self) -> int:
+        """Events that reached a trigger, across all lanes (synchronises)."""
+        self._check_open()
+        return self._serial.events_processed + sum(
+            lane.events_processed() for lane in self._lanes
+        )
+
+    # -- results ------------------------------------------------------------
+
+    def merged_maps(self) -> dict[str, dict]:
+        """The key-wise merge of all lane maps (synchronises workers)."""
+        self._check_open()
+        self.sync()
+        lane_maps = [self._serial.maps] + [
+            lane.collect_maps() for lane in self._lanes
+        ]
+        return _merge_lane_maps(self.program, lane_maps)
+
+    def results(self, query_name: Optional[str] = None) -> list[tuple]:
+        """Current rows of a standing query over the merged shard state."""
+        return query_results(self.program, self.merged_maps(), query_name)
+
+    def results_dict(self, query_name: Optional[str] = None) -> list[dict]:
+        query = self._query(query_name)
+        return result_rows_to_dicts(query, self.results(query.name))
+
+    def result_scalar(self, query_name: Optional[str] = None):
+        rows = self.results(query_name)
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise EventError("result_scalar requires a scalar single-item query")
+        return rows[0][0]
+
+    def _query(self, query_name: Optional[str]):
+        if query_name is None:
+            if len(self.program.queries) != 1:
+                raise EventError("query_name required with multiple queries")
+            return self.program.queries[0]
+        for query in self.program.queries:
+            if query.name == query_name:
+                return query
+        raise EventError(f"unknown query {query_name!r}")
+
+    # -- introspection ------------------------------------------------------
+
+    def map_view(self, name: str) -> Mapping:
+        """Read-only merged view of one map, for ad-hoc client queries."""
+        return MappingProxyType(self.merged_maps()[name])
+
+    def map_sizes(self) -> dict[str, int]:
+        return {
+            name: len(contents)
+            for name, contents in self.merged_maps().items()
+        }
+
+    def total_entries(self) -> int:
+        return sum(len(contents) for contents in self.merged_maps().values())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EventError(
+                "ShardedEngine is closed: shard state was discarded; "
+                "read results before close() / leaving the with-block"
+            )
+
+    def close(self) -> None:
+        """Stop worker processes and discard lane state (idempotent).
+
+        A closed engine rejects further event processing and reads: its
+        shard lanes (and their maps) are gone, so answering from the
+        remaining serial lane alone would silently return partial state.
+        """
+        for lane in self._lanes:
+            lane.close()
+        self._lanes = []
+        self._closed = True
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

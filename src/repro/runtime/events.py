@@ -9,6 +9,9 @@ Besides single events, the runtime supports *batched* delivery: a stream is
 grouped into :class:`EventBatch` runs of consecutive events sharing one
 ``(relation, sign)``, so the engine can dispatch each run with a single
 trigger call (see :meth:`repro.runtime.engine.DeltaEngine.process_batch`).
+Batches can additionally be *shard-routed*: :func:`partition_rows` splits a
+batch's rows by the hash of one column, the unit of parallel delta
+processing (see :class:`repro.runtime.engine.ShardedEngine`).
 """
 
 from __future__ import annotations
@@ -100,6 +103,27 @@ class EventBatch:
     def __repr__(self) -> str:
         symbol = "+" if self.sign == 1 else "-"
         return f"{symbol}{self.relation}[{len(self.rows)} rows]"
+
+
+def partition_rows(
+    rows: Iterable[Sequence], column: int, shards: int
+) -> list[list[Sequence]]:
+    """Hash-partition batch rows by one column into per-shard row lists.
+
+    Row order is preserved within every shard, so each shard observes its
+    sub-stream in stream order; rows assigned to different shards commute
+    because a partitionable trigger only touches map keys carrying the
+    row's own partition value (see :mod:`repro.compiler.partition`).
+    """
+    if shards < 1:
+        raise EventError(f"shard count must be >= 1, got {shards!r}")
+    buckets: list[list[Sequence]] = [[] for _ in range(shards)]
+    if shards == 1:
+        buckets[0].extend(rows)
+        return buckets
+    for row in rows:
+        buckets[hash(row[column]) % shards].append(row)
+    return buckets
 
 
 def batches(events: Iterable, batch_size: Optional[int] = None) -> Iterator[EventBatch]:

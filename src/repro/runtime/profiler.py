@@ -12,9 +12,8 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping
 
-from repro.compiler.program import CompiledProgram
 
 
 @dataclass

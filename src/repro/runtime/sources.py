@@ -8,7 +8,11 @@ objects, so ``engine.process_stream(source)`` works uniformly.
 Any source can also be delivered in batches (:func:`batch_source`): the
 events are grouped into consecutive same-``(relation, sign)`` runs that the
 engine dispatches with one trigger call each.  Batches flatten back to their
-events, so batched sources remain valid inputs to ``process_stream``.
+events, so batched sources remain valid inputs to ``process_stream``.  For
+parallel delta processing, :func:`sharded_batch_source` additionally
+hash-routes each batch by its relation's partition column, yielding
+``(shard, batch)`` pairs a :class:`~repro.runtime.engine.ShardedEngine`
+dispatches concurrently.
 """
 
 from __future__ import annotations
@@ -98,6 +102,35 @@ def batch_source(
     the batches straight back to ``process_stream`` (they flatten).
     """
     yield from batches(events, batch_size)
+
+
+def sharded_batch_source(
+    events: Iterable,
+    relation_columns: dict[str, int],
+    shards: int,
+    batch_size: Optional[int] = None,
+) -> Iterator[tuple[Optional[int], EventBatch]]:
+    """Deliver a stream as ``(shard, batch)`` pairs for parallel dispatch.
+
+    Each consecutive same-``(relation, sign)`` run is hash-split by the
+    relation's partition column (``relation_columns``, typically
+    ``PartitionSpec.relation_columns`` from
+    :func:`repro.compiler.partition.analyze_partitioning`); relations
+    without a column yield ``(None, batch)``, the serial lane.  Rows keep
+    their stream order within every shard.
+    """
+    from repro.runtime.events import partition_rows
+
+    for batch in batches(events, batch_size):
+        column = relation_columns.get(batch.relation)
+        if column is None:
+            yield None, batch
+            continue
+        for shard, rows in enumerate(
+            partition_rows(batch.rows, column, shards)
+        ):
+            if rows:
+                yield shard, EventBatch(batch.relation, batch.sign, rows)
 
 
 def csv_batch_source(

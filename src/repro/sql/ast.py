@@ -6,7 +6,7 @@ annotates/validates them (producing a :class:`repro.sql.binder.BoundQuery`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 # --------------------------------------------------------------------------

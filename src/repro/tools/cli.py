@@ -14,22 +14,42 @@ Usage examples::
     python -m repro.tools.cli run --ddl schema.sql --query "SELECT ..." \
         --stream events.csv --every 1000
     python -m repro.tools.cli bench --workload finance --events 20000
+    python -m repro.tools.cli bench --workload finance --query bsp \
+        --events 50000 --shards 4
+
+``--shards N`` (run/bench) processes the stream on a
+:class:`~repro.runtime.engine.ShardedEngine`: batches are hash-routed by
+the compiler's partition columns to N parallel lanes, with a serial
+fallback when the program is not partitionable.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import sys
 import time
 from pathlib import Path
 
 from repro.codegen.cppgen import generate_cpp
 from repro.codegen.pygen import generate_module
-from repro.compiler import compile_sql
-from repro.runtime import DeltaEngine
+from repro.compiler import analyze_partitioning, compile_sql
+from repro.runtime import DeltaEngine, ShardedEngine
 from repro.runtime.sources import csv_source
 from repro.sql.catalog import Catalog
 from repro.tools.trace import compilation_table, recursion_summary
+
+
+def _make_engine(program, args):
+    """A DeltaEngine, or a ShardedEngine when ``--shards N`` (N > 1) asks
+    for hash-partitioned parallel lanes (worker processes where ``fork``
+    is available; non-partitionable programs fall back to serial)."""
+    shards = getattr(args, "shards", 1) or 1
+    if shards > 1:
+        return ShardedEngine(
+            program, shards=shards, mode=args.mode, parallel=True
+        )
+    return DeltaEngine(program, mode=args.mode)
 
 
 def _load_catalog(args) -> Catalog:
@@ -44,6 +64,8 @@ def cmd_compile(args) -> int:
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
     print(program.describe())
+    print(analyze_partitioning(program).describe())
+    print()
     print("== Figure 2 trace ==\n")
     print(compilation_table(program))
     print("\nmaps per recursion level:", recursion_summary(program))
@@ -57,16 +79,26 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
-    engine = DeltaEngine(program, mode=args.mode)
+    engine = _make_engine(program, args)
     count = 0
     start = time.perf_counter()
-    for event in csv_source(args.stream, catalog):
-        engine.process(event)
-        count += 1
-        if args.every and count % args.every == 0:
+    # Events flow through the batched stream path (chunked at --every so
+    # intermediate results can print); per-event dispatch would forfeit
+    # batching and, with --shards, pay one worker round-trip per event.
+    source = csv_source(args.stream, catalog)
+    chunk_size = args.every or None
+    while True:
+        chunk = list(itertools.islice(source, chunk_size)) if chunk_size else None
+        consumed = engine.process_stream(chunk if chunk is not None else source)
+        count += consumed
+        if isinstance(engine, ShardedEngine):
+            engine.sync()
+        if chunk_size and consumed:
             print(f"-- after {count} events --")
             for row in engine.results("q"):
                 print("  ", row)
+        if not chunk_size or consumed < chunk_size:
+            break
     elapsed = time.perf_counter() - start
     print(f"== final result ({count} events, "
           f"{count / elapsed if elapsed else 0:,.0f} events/s) ==")
@@ -90,11 +122,13 @@ def cmd_bench(args) -> int:
         catalog = finance_catalog()
         sql = FINANCE_QUERIES[args.query or "bsp"]
         program = compile_sql(sql, catalog, name="q")
-        engine = DeltaEngine(program, mode=args.mode)
+        engine = _make_engine(program, args)
         start = time.perf_counter()
         count = engine.process_stream(
             OrderBookGenerator(seed=1).events(args.events), **_batch_kwargs(args)
         )
+        if isinstance(engine, ShardedEngine):
+            engine.sync()
         elapsed = time.perf_counter() - start
     elif args.workload == "warehouse":
         from repro.workloads.ssb import (
@@ -107,17 +141,21 @@ def cmd_bench(args) -> int:
 
         generator = TpchGenerator(sf=args.events / 7_500_000)
         program = compile_sql(SSB_Q41_COMBINED, ssb_catalog(), name="q")
-        engine = DeltaEngine(program, mode=args.mode)
+        engine = _make_engine(program, args)
         load_static_tables(engine, generator)
         start = time.perf_counter()
         count = engine.process_stream(
             warehouse_stream(generator), **_batch_kwargs(args)
         )
+        if isinstance(engine, ShardedEngine):
+            engine.sync()
         elapsed = time.perf_counter() - start
     else:
         raise SystemExit(f"unknown workload {args.workload!r}")
+    shards = getattr(args, "shards", 1) or 1
+    sharding = f", shards={shards}" if shards > 1 else ""
     print(f"{args.workload}: {count} events in {elapsed:.2f}s "
-          f"({count / elapsed:,.0f} events/s, mode={args.mode})")
+          f"({count / elapsed:,.0f} events/s, mode={args.mode}{sharding})")
     return 0
 
 
@@ -147,6 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print results every N events")
     p_run.add_argument("--mode", choices=["compiled", "interpreted"],
                        default="compiled")
+    p_run.add_argument("--shards", type=int, default=1,
+                       help="hash-partitioned parallel shard lanes "
+                       "(1 = single engine)")
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser("bench", help="built-in workload throughput")
@@ -159,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--batch-size", type=int, default=None,
                          help="cap rows per dispatched batch "
                          "(default: the engine's bounded default)")
+    p_bench.add_argument("--shards", type=int, default=1,
+                         help="hash-partitioned parallel shard lanes "
+                         "(1 = single engine)")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

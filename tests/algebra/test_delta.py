@@ -29,7 +29,7 @@ from repro.algebra.delta import Event, delta, event_for
 from repro.algebra.eval import eval_expr, gmr_add, gmr_equal
 
 from tests.checks import apply_event
-from tests.strategies import RELATIONS, closed_queries, databases, events
+from tests.strategies import closed_queries, databases, events
 
 
 def rel(name, *vars_):

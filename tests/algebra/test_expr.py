@@ -12,7 +12,6 @@ from repro.algebra.expr import (
     Lift,
     MapRef,
     Mul,
-    Neg,
     Rel,
     Var,
     ONE,

@@ -11,7 +11,6 @@ from repro.algebra.expr import (
     Exists,
     Lift,
     MapRef,
-    Mul,
     Rel,
     Var,
     add,

@@ -1,6 +1,5 @@
 """Simplification tests: rule-by-rule checks plus semantic preservation."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.algebra.expr import (

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.errors import TranslationError
 from repro.algebra.eval import eval_expr, eval_scalar
-from repro.algebra.expr import AggSum, Const, Rel, relations_in
+from repro.algebra.expr import AggSum, relations_in
 from repro.algebra.translate import (
     RBin,
     RGroup,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.expr import AggSum, Lift, MapRef, Rel, Var, relations_in
+from repro.algebra.expr import AggSum, Lift, Rel, Var
 from repro.compiler import CompileOptions, compile_sql, compile_queries
 from repro.compiler.materialize import canonicalize, is_data_bound, ordered_vars
 from repro.algebra.translate import translate_sql

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import BindError
-from repro.sql.ast import ColumnRef
 from repro.sql.binder import bind_query
 from repro.sql.catalog import Catalog, SqlType
 from repro.sql.parser import parse_query

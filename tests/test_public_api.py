@@ -1,7 +1,5 @@
 """Top-level public API tests (the README quickstart must work verbatim)."""
 
-import pytest
-
 import repro
 from repro import (
     Catalog,
