@@ -77,14 +77,17 @@ def prepare_steady_state(
     stream: Iterable[StreamEvent],
     prefill: int,
     slice_size: int,
+    engine_kwargs: Optional[dict] = None,
 ) -> Optional[SteadyState]:
     """Prefill an engine and capture the measurement slice.
 
     Returns ``None`` when the system cannot express the queries (the
     paper's point about stream engines and order-book nesting).
+    ``engine_kwargs`` pass through to the DBToaster engine kinds (e.g.
+    ``{"optimize": False}`` for the IR-optimisation ablation).
     """
     try:
-        engine = make_engine(kind, queries, catalog)
+        engine = make_engine(kind, queries, catalog, engine_kwargs=engine_kwargs)
     except UnsupportedQueryError:
         return None
     iterator = iter(stream)
@@ -180,19 +183,35 @@ def calibration_score(rounds: int = 3) -> float:
     return n_ops / best
 
 
+def bench_metadata(optimize: bool = True) -> dict:
+    """IR-optimisation settings stamped into every BENCH_*.json payload,
+    so a perf regression can be bisected to a pass configuration."""
+    from repro.ir import DEFAULT_PASSES
+
+    return {
+        "ir_optimize": optimize,
+        "ir_passes": list(DEFAULT_PASSES) if optimize else [],
+    }
+
+
 def write_bench_json(
-    path: str | Path, benchmark: str, metrics: dict[str, float]
+    path: str | Path,
+    benchmark: str,
+    metrics: dict[str, float],
+    metadata: Optional[dict] = None,
 ) -> None:
     """Persist one benchmark run for the CI regression gate.
 
     The file carries the raw events/sec ``metrics`` plus the host's
-    :func:`calibration_score`; ``benchmarks/check_regression.py`` compares
+    :func:`calibration_score` and the run's ``metadata`` (IR optimisation
+    settings by default); ``benchmarks/check_regression.py`` compares
     normalised (metric / calibration) values against the committed
     ``benchmarks/baseline.json``.
     """
     payload = {
         "benchmark": benchmark,
         "calibration": calibration_score(),
+        "metadata": metadata if metadata is not None else bench_metadata(),
         "metrics": {key: value for key, value in sorted(metrics.items())},
     }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

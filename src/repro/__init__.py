@@ -6,8 +6,8 @@ The public API in three lines::
     engine = DeltaEngine(compile_sql("SELECT sum(...) FROM ...", catalog))
     engine.insert("R", 1, 2); engine.results()
 
-See README.md for the full tour, DESIGN.md for the architecture and
-EXPERIMENTS.md for the reproduction of the paper's evaluation.
+See README.md for the full pipeline tour (SQL -> calculus -> delta ->
+materialise -> trigger IR -> {pygen, cppgen, interpreter}) and CLI usage.
 """
 
 from repro.sql.catalog import Catalog
@@ -30,7 +30,7 @@ from repro.runtime import (
     update,
 )
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Catalog",

@@ -24,18 +24,27 @@ ENGINE_KINDS = {
 }
 
 
-def make_engine(kind: str, queries: dict[str, str], catalog: Catalog):
+def make_engine(
+    kind: str,
+    queries: dict[str, str],
+    catalog: Catalog,
+    engine_kwargs: Optional[dict] = None,
+):
     """Build one bakeoff engine over the same standing queries.
 
     All returned engines expose ``process`` / ``process_batch`` /
     ``process_stream`` / ``insert`` / ``delete`` / ``results`` /
     ``total_entries``, so per-event and batched comparisons run the same
-    driver code against every system.
+    driver code against every system.  ``engine_kwargs`` pass through to
+    the DBToaster :class:`~repro.runtime.engine.DeltaEngine` kinds only
+    (e.g. ``{"optimize": False}`` for the IR-ablation benchmarks).
     """
     if kind == "dbtoaster":
-        return _delta_engine(queries, catalog, mode="compiled")
+        return _delta_engine(queries, catalog, mode="compiled", **(engine_kwargs or {}))
     if kind == "dbtoaster_interp":
-        return _delta_engine(queries, catalog, mode="interpreted")
+        return _delta_engine(
+            queries, catalog, mode="interpreted", **(engine_kwargs or {})
+        )
     if kind == "ivm":
         return FirstOrderIVMEngine(queries, catalog)
     if kind == "streamops":
@@ -52,9 +61,10 @@ def _delta_engine(
     catalog: Catalog,
     mode: str,
     options: Optional[CompileOptions] = None,
+    **engine_kwargs,
 ) -> DeltaEngine:
     translated = [
         translate_sql(sql, catalog, name=name) for name, sql in queries.items()
     ]
     program = compile_queries(translated, catalog, options)
-    return DeltaEngine(program, mode=mode)
+    return DeltaEngine(program, mode=mode, **engine_kwargs)

@@ -1,13 +1,16 @@
-"""Code generation back ends.
+"""Code generation back ends — renderers of the shared trigger IR.
 
-* :mod:`repro.codegen.pygen` — generates straight-line Python trigger
-  functions from a compiled program and ``exec``-compiles them.  This is the
-  reproduction of the paper's C++ generation + native compilation step: all
-  query-plan interpretation is gone, leaving dictionary probes and
-  arithmetic.
-* :mod:`repro.codegen.cppgen` — emits the equivalent C++ source as a text
-  artifact (header + handlers), mirroring the listings shown in the paper's
-  Section 3.  It is not compiled or executed here.
+Both back ends render the same typed imperative IR (:mod:`repro.ir`), so
+they agree on loop structure, update semantics and optimisation by
+construction:
+
+* :mod:`repro.codegen.pygen` — renders IR to straight-line Python trigger
+  functions and ``exec``-compiles them.  This is the reproduction of the
+  paper's C++ generation + native compilation step: all query-plan
+  interpretation is gone, leaving dictionary probes and arithmetic.
+* :mod:`repro.codegen.cppgen` — renders the equivalent C++ source as a
+  text artifact (header + handlers), mirroring the listings shown in the
+  paper's Section 3.  It is not compiled or executed here.
 """
 
 from repro.codegen.pygen import CompiledExecutor, generate_module

@@ -1,19 +1,23 @@
-"""Python trigger-code generation.
+"""Python trigger-code generation: the IR -> Python renderer.
 
 Each trigger becomes one module-level function whose parameters are the
-event values and whose body is straight-line code over dictionary maps —
-loops appear only where the compiled statements iterate map entries (the
-paper's ``foreach``).  Maps are bound as default arguments, so the generated
-code pays no attribute or global lookups on the hot path.
+event values and whose body renders the trigger's imperative IR
+(:mod:`repro.ir`) — loops appear only where the lowered statements
+iterate map entries (the paper's ``foreach``).  Maps are bound as default
+arguments, so the generated code pays no attribute or global lookups on
+the hot path.
 
 Every trigger is emitted twice: the per-event function ``on_<kind>_<rel>``
-and a *batch* variant ``on_<kind>_<rel>_batch(rows)`` that unpacks the event
-parameters in the loop header and runs the same statement body once per row.
-The batch variant binds map/index locals once per call (hoisted out of the
-row loop) and replaces per-event Python dispatch — engine lookup, argument
-unpacking, one function call per event — with a single call per batch; rows
-still apply strictly in stream order, so results are identical to the
-per-event path.
+and a *batch* variant ``on_<kind>_<rel>_batch(rows)`` rendered from the
+batch IR derived from the same lowering.  The batch variant binds
+map/index locals once per call and unpacks the event parameters in the
+row-loop header; independent triggers accumulate whole-batch deltas in
+locals flushed once (the Z-set batch-delta shape).
+
+Secondary indexes are a back-end concern layered onto the IR here: the
+loop access patterns collected from the lowered IR get one index dict per
+pattern, maintained inline by every map apply and probed by matching
+loops so they touch only matching entries.
 
 The generated source is a readable artifact in its own right (the
 ``binary-size``/profiling experiments measure it); ``generate_module``
@@ -25,26 +29,37 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.errors import CodegenError
-from repro.algebra.expr import (
-    Add,
-    AggSum,
-    Cmp,
+from repro.compiler.program import CompiledProgram, Trigger
+from repro.ir.lower import collect_patterns_ir, lower_program
+from repro.ir.nodes import (
+    AddTo,
+    AppendTo,
+    Assign,
+    Accum,
+    Block,
+    BufferDecl,
+    Clear,
+    Compare,
     Const,
-    Div,
-    Exists,
-    Expr,
-    Lift,
-    MapRef,
-    Mul,
+    FlushBuffer,
+    ForEachMap,
+    ForEachRow,
+    IfCond,
+    IRExpr,
+    IRStmt,
+    KeyAt,
+    LocalMapDecl,
+    Lookup,
+    MergeInto,
+    Name,
     Neg,
-    Var,
-)
-from repro.algebra.simplify import monomials
-from repro.compiler.program import (
-    CompiledProgram,
-    Statement,
-    Trigger,
-    needs_buffering,
+    Prod,
+    SafeDiv,
+    Sum,
+    TriggerIR,
+    read_slots,
+    walk_stmts,
+    written_slots,
 )
 
 _CMP_PY = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
@@ -95,43 +110,49 @@ def index_name(map_name: str, pattern: tuple[int, ...]) -> str:
     return f"__x_{map_name}_" + "_".join(str(p) for p in pattern)
 
 
-def collect_patterns(program: CompiledProgram) -> dict[str, set[tuple[int, ...]]]:
-    """Access patterns needing secondary indexes (a dry generation pass).
+def collect_patterns(
+    program: CompiledProgram, optimize: bool = True
+) -> dict[str, set[tuple[int, ...]]]:
+    """Access patterns needing secondary indexes, from the lowered IR.
 
     A pattern is the tuple of key positions bound at a map-loop site; real
     DBToaster calls these the map's *in/out patterns* and maintains one
     index per pattern so loops touch only matching entries.
     """
-    patterns: dict[str, set[tuple[int, ...]]] = {}
-    scratch = Emitter()
-    for trigger in program.triggers.values():
-        for statement in trigger.statements:
-            generator = _StatementGen(
-                statement, scratch, buffered=False, params=trigger.params,
-                patterns=patterns, indexes=None,
-            )
-            generator.run()
-    return patterns
+    ir = lower_program(program, optimize=optimize)
+    return collect_patterns_ir(
+        list(ir.triggers.values()) + list(ir.batch_triggers.values())
+    )
 
 
-def generate_module(program: CompiledProgram, use_indexes: bool = True) -> str:
+def generate_module(
+    program: CompiledProgram,
+    use_indexes: bool = True,
+    optimize: bool = True,
+) -> str:
     """Generate the full trigger module source for a compiled program.
 
     With ``use_indexes`` (the default, matching production DBToaster),
     maps iterated with partially-bound keys get secondary index
     dictionaries, maintained inline by every writer and used by loops to
-    touch only matching entries.
+    touch only matching entries.  ``optimize=False`` renders the raw
+    lowering with the IR pass pipeline disabled (the ablation knob).
     """
     from repro.compiler.partition import analyze_partitioning
 
-    indexes = collect_patterns(program) if use_indexes else {}
+    ir = lower_program(program, optimize=optimize)
+    indexes = collect_patterns(program, optimize=optimize) if use_indexes else {}
     emitter = Emitter()
     emitter.line('"""Generated delta-processing triggers (do not edit).')
     emitter.line("")
-    emitter.line("Produced by repro.codegen.pygen from the compiled program;")
-    emitter.line("maps (and secondary indexes) are bound as default arguments")
-    emitter.line("at exec time.  Each trigger has a per-event function and a")
-    emitter.line("*_batch variant applying a whole row list per call.")
+    emitter.line("Produced by repro.codegen.pygen from the trigger IR")
+    emitter.line("(repro.ir); maps (and secondary indexes) are bound as")
+    emitter.line("default arguments at exec time.  Each trigger has a")
+    emitter.line("per-event function and a *_batch variant applying a")
+    emitter.line("whole row list per call.")
+    emitter.line("")
+    passes = ", ".join(ir.passes) if ir.passes else "disabled"
+    emitter.line(f"IR optimisation passes: {passes}.")
     emitter.line("")
     # Shard-routing metadata: which event column each relation's batches
     # may be hash-partitioned on (see repro.compiler.partition); stamped
@@ -148,7 +169,10 @@ def generate_module(program: CompiledProgram, use_indexes: bool = True) -> str:
         _generate_index_rebuild(indexes, emitter)
         emitter.blank()
     for key in sorted(program.triggers, key=lambda k: (k[0], -k[1])):
-        _generate_trigger(program.triggers[key], emitter, indexes)
+        trigger = program.triggers[key]
+        _generate_trigger(
+            trigger, ir.triggers[key], ir.batch_triggers[key], emitter, indexes
+        )
         emitter.blank()
     return emitter.source()
 
@@ -176,564 +200,326 @@ def _generate_index_rebuild(
                     )
 
 
+def _global_maps_used(*bodies) -> list[str]:
+    names: set[str] = set()
+    for body in bodies:
+        for slot in read_slots(body) | written_slots(body):
+            if not slot.local:
+                names.add(slot.name)
+        for stmt in walk_stmts(body):
+            if isinstance(stmt, AppendTo) and stmt.target.name:
+                names.add(stmt.target.name)
+    return sorted(names)
+
+
 def _generate_trigger(
     trigger: Trigger,
+    per_event: TriggerIR,
+    batch: TriggerIR,
     emitter: Emitter,
     indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
 ) -> None:
     indexes = indexes or {}
-    maps_used = sorted(
-        {s.target for s in trigger.statements}
-        | {name for s in trigger.statements for name in s.reads()}
-    )
+    maps_used = _global_maps_used(per_event.body, batch.body)
     params = list(trigger.params)
     defaults = [f"{map_local(name)}=MAPS[{name!r}]" for name in maps_used]
     for name in maps_used:
         for pattern in sorted(indexes.get(name, ())):
             local = index_name(name, pattern)
             defaults.append(f"{local}=INDEXES[{local!r}]")
+    renderer = _PyRenderer(emitter, indexes)
     signature = ", ".join(params + defaults)
     emitter.line(f"def {trigger.name}({signature}):")
     with emitter.block():
-        if not trigger.statements:
+        if not per_event.body:
             emitter.line("pass")
         else:
-            _emit_trigger_body(trigger, emitter, indexes)
+            renderer.render_body(per_event.body)
     emitter.blank()
-    # The batch variant: the same statement body inside one loop over the
-    # row list.  Map/index locals are bound once per call (hoisted out of
-    # the loop) and the loop header unpacks the event parameters, so a
-    # batch of n events costs one Python call instead of n.
-    #
-    # When no statement reads a map this trigger writes, each row's deltas
-    # are computed against pre-batch state anyway, so scalar-keyed targets
-    # additionally accumulate the whole batch's delta in a local and touch
-    # their map dictionary once per batch (the Z-set batch-delta shape).
     batch_signature = ", ".join(["__rows"] + defaults)
     emitter.line(f"def {trigger.name}_batch({batch_signature}):")
     with emitter.block():
-        if not trigger.statements:
+        if not batch.body:
             emitter.line("pass")
-            return
-        if not params:
-            target = "_"
-        elif len(params) == 1:
-            target = f"{params[0]},"
         else:
-            target = ", ".join(params)
-        written = {s.target for s in trigger.statements}
-        independent = not any(s.reads() & written for s in trigger.statements)
-        accs: dict[int, str] = {}
-        if independent:
-            for position, statement in enumerate(trigger.statements):
-                if _accumulates(statement, trigger, indexes):
-                    acc = f"__b{position}"
-                    accs[position] = acc
-                    emitter.line(f"{acc} = 0" if not statement.args else f"{acc} = {{}}")
-        if not accs:
-            emitter.line(f"for {target} in __rows:")
-            with emitter.block():
-                _emit_trigger_body(trigger, emitter, indexes)
-            return
-        emitter.line(f"for {target} in __rows:")
-        with emitter.block():
-            for position, statement in enumerate(trigger.statements):
-                emitter.line(f"# {statement!r}")
-                generator = _StatementGen(
-                    statement, emitter, buffered=False,
-                    params=trigger.params, indexes=indexes,
-                    batch_acc=accs.get(position),
-                )
-                generator.run()
-        for position, statement in enumerate(trigger.statements):
-            acc = accs.get(position)
-            if acc is None:
-                continue
-            patterns = sorted(indexes.get(statement.target, ()))
-            if not statement.args:
-                emitter.line(f"if {acc} != 0:")
-                with emitter.block():
-                    _emit_apply(
-                        emitter, target=statement.target, key_code="()",
-                        val_code=acc, patterns=patterns, key_parts=None,
-                    )
-            else:
-                emitter.line(f"for __key, __val in {acc}.items():")
-                with emitter.block():
-                    _emit_apply(
-                        emitter, target=statement.target, key_code="__key",
-                        val_code="__val", patterns=patterns, key_parts=None,
-                    )
+            renderer.render_body(batch.body)
 
 
-def _accumulates(
-    statement: Statement,
-    trigger: Trigger,
-    indexes: dict[str, set[tuple[int, ...]]],
-) -> bool:
-    """Whether a batch-independent statement accumulates its batch delta
-    locally before touching the target map.
-
-    Always worthwhile for scalar targets (a local int add per row).  Keyed
-    targets accumulate when keys are expected to repeat across the batch
-    (fewer key positions than event parameters — group-by style) or when
-    the target maintains secondary indexes (hoists index maintenance out of
-    the row loop); occurrence-style maps keyed by the whole event tuple
-    apply directly, as accumulation would only duplicate the dictionary
-    work.
-    """
-    if not statement.args:
-        return True
-    if indexes.get(statement.target):
-        return True
-    return len(statement.args) < len(trigger.params)
-
-
-def _emit_trigger_body(
-    trigger: Trigger,
-    emitter: Emitter,
-    indexes: dict[str, set[tuple[int, ...]]],
-) -> None:
-    """The statements (plus two-phase pending buffers) for one event."""
-    buffered = needs_buffering(trigger.statements)
-    written = sorted({s.target for s in trigger.statements})
-    if buffered:
-        for name in written:
-            emitter.line(f"__pending_{name} = []")
-    for statement in trigger.statements:
-        emitter.line(f"# {statement!r}")
-        _generate_statement(
-            statement, emitter, buffered, trigger.params, indexes
-        )
-    if buffered:
-        for name in written:
-            emitter.line(f"for __key, __val in __pending_{name}:")
-            with emitter.block():
-                _emit_apply(
-                    emitter,
-                    target=name,
-                    key_code="__key",
-                    val_code="__val",
-                    patterns=sorted(indexes.get(name, ())),
-                    key_parts=None,
-                )
-
-
-def _emit_apply(
-    emitter: Emitter,
-    target: str,
-    key_code: str,
-    val_code: str,
-    patterns: list[tuple[int, ...]],
-    key_parts: Optional[list[str]],
-) -> None:
-    """``target[key] += val`` with zero eviction and index maintenance."""
-    local = map_local(target)
-    cur = emitter.fresh("c")
-    emitter.line(f"{cur} = {local}.get({key_code}, 0) + {val_code}")
-
-    def subkey_code(pattern: tuple[int, ...]) -> str:
-        if key_parts is not None:
-            parts = [key_parts[p] for p in pattern]
-        else:
-            parts = [f"{key_code}[{p}]" for p in pattern]
-        if len(parts) == 1:
-            return f"({parts[0]},)"
-        return "(" + ", ".join(parts) + ")"
-
-    emitter.line(f"if {cur} == 0:")
-    with emitter.block():
-        emitter.line(f"{local}.pop({key_code}, None)")
-        for pattern in patterns:
-            idx = index_name(target, pattern)
-            bucket = emitter.fresh("b")
-            emitter.line(f"{bucket} = {idx}.get({subkey_code(pattern)})")
-            emitter.line(f"if {bucket} is not None:")
-            with emitter.block():
-                emitter.line(f"{bucket}.pop({key_code}, None)")
-                emitter.line(f"if not {bucket}:")
-                with emitter.block():
-                    emitter.line(f"{idx}.pop({subkey_code(pattern)}, None)")
-    emitter.line("else:")
-    with emitter.block():
-        emitter.line(f"{local}[{key_code}] = {cur}")
-        for pattern in patterns:
-            idx = index_name(target, pattern)
-            emitter.line(
-                f"{idx}.setdefault({subkey_code(pattern)}, {{}})"
-                f"[{key_code}] = {cur}"
-            )
-
-
-def _generate_statement(
-    statement: Statement,
-    emitter: Emitter,
-    buffered: bool,
-    params: tuple[str, ...],
-    indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
-) -> None:
-    generator = _StatementGen(
-        statement, emitter, buffered, params, patterns=None, indexes=indexes
-    )
-    generator.run()
-
-
-class _StatementGen:
-    """Generates the loops + update for one statement.
-
-    ``patterns`` (when given) collects the access patterns seen at map-loop
-    sites instead of using them — the dry pass of index planning.
-    ``indexes`` (when given) maps each map to its available patterns; loops
-    matching a pattern iterate the index bucket, and updates maintain the
-    target's indexes inline.
-    ``batch_acc`` (batch-mode only, scalar-keyed statements) names a local
-    accumulator receiving the delta instead of the map apply; the caller
-    applies the accumulated batch delta once after the row loop.
-    """
+class _PyRenderer:
+    """Renders IR statements to Python source lines."""
 
     def __init__(
-        self,
-        statement: Statement,
-        emitter: Emitter,
-        buffered: bool,
-        params: tuple[str, ...] = (),
-        patterns: Optional[dict[str, set[tuple[int, ...]]]] = None,
-        indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
-        batch_acc: Optional[str] = None,
-    ):
-        self.statement = statement
-        self.emitter = emitter
-        self.buffered = buffered
-        self.params = tuple(params)
-        self.patterns = patterns
-        self.indexes = indexes or {}
-        self.batch_acc = batch_acc
-        self.bound: set[str] = set()
-
-    def run(self) -> None:
-        expanded = monomials(self.statement.rhs)
-        if not expanded:
-            return  # identically zero RHS: nothing to emit
-        if len(expanded) != 1:
-            raise CodegenError(
-                f"statement RHS must be a single monomial: {self.statement!r}"
-            )
-        coeff, factors = expanded[0]
-        # Exactly the event parameters are bound on entry; every other
-        # variable is bound by loops or lift assignments in the body.
-        self.bound = set(self.params)
-        terms: list[str] = [] if coeff == 1 else [repr(coeff)]
-        self._emit_product(list(factors), terms)
-
-    # -- the recursive product emitter -----------------------------------
-
-    def _emit_product(self, factors: list[Expr], terms: list[str]) -> None:
-        """Emit code for a product; recursion nests loops."""
-        emitter = self.emitter
-        factors = list(factors)
-        terms = list(terms)
-        while factors:
-            factor = factors[0]
-            if isinstance(factor, (AggSum, Exists)):
-                break  # handled by the dispatch below (flatten or guard)
-            if isinstance(factor, Cmp) and self._is_scalar(factor):
-                # Comparisons become guards: cheaper than multiplying 0/1
-                # and they short-circuit the rest of the statement.
-                op = _CMP_PY[factor.op]
-                cond = (
-                    f"{self._scalar_code(factor.left)} {op} "
-                    f"{self._scalar_code(factor.right)}"
-                )
-                emitter.line(f"if {cond}:")
-                with emitter.block():
-                    self._emit_product(factors[1:], terms)
-                return
-            if self._is_scalar(factor):
-                terms.append(self._scalar_code(factor))
-                factors.pop(0)
-                continue
-            break
-        if not factors:
-            self._emit_update(terms)
-            return
-
-        factor = factors.pop(0)
-        rest = factors
-
-        if isinstance(factor, Lift):
-            if factor.var in self.bound:
-                cond = f"{factor.var} == {self._scalar_code(factor.body)}"
-                emitter.line(f"if {cond}:")
-                with emitter.block():
-                    self._emit_product(rest, list(terms))
-                return
-            emitter.line(f"{factor.var} = {self._scalar_code(factor.body)}")
-            self.bound.add(factor.var)
-            self._emit_product(rest, list(terms))
-            return
-
-        if isinstance(factor, MapRef):
-            self._emit_map_loop(factor, rest, terms)
-            return
-
-        if isinstance(factor, AggSum):
-            # Linear position: flatten (grouping is reconstituted by the
-            # target accumulation; summed variables are invisible outside).
-            inner = _factors_of(factor.body)
-            self._emit_product(inner + rest, list(terms))
-            return
-
-        if isinstance(factor, Exists):
-            inner = factor.body
-            from repro.algebra.schema import output_vars
-
-            unbound = [v for v in output_vars(inner) if v not in self.bound]
-            if not unbound:
-                # Scalar existence test: accumulate the body value, then
-                # guard the rest of the statement on it being non-zero.
-                acc = self._scalar_aggregate(inner)
-                emitter.line(f"if {acc} != 0:")
-                with emitter.block():
-                    self._emit_product(rest, list(terms))
-                return
-            if isinstance(inner, MapRef):
-                self._emit_map_loop(inner, rest, terms, cap_value=True)
-                return
-            raise CodegenError(f"unsupported Exists structure: {factor!r}")
-
-        raise CodegenError(
-            f"cannot generate code for factor {factor!r} in {self.statement!r}"
-        )
-
-    def _emit_map_loop(
-        self,
-        ref: MapRef,
-        rest: list[Expr],
-        terms: list[str],
-        cap_value: bool = False,
+        self, emitter: Emitter, indexes: dict[str, set[tuple[int, ...]]]
     ) -> None:
+        self.emitter = emitter
+        self.indexes = indexes
+
+    # -- statements --------------------------------------------------------
+
+    def render_body(self, stmts: Sequence[IRStmt]) -> None:
+        for stmt in stmts:
+            self.render_stmt(stmt)
+
+    def render_stmt(self, stmt: IRStmt) -> None:
         emitter = self.emitter
-        local = map_local(ref.name)
-        filters: list[tuple[int, str]] = []
-        bindings: list[tuple[int, str]] = []
-        seen_here: dict[str, int] = {}
-        for position, arg in enumerate(ref.args):
-            if isinstance(arg, Const):
-                filters.append((position, repr(arg.value)))
-            elif arg.name in self.bound:
-                filters.append((position, arg.name))
-            elif arg.name in seen_here:
-                filters.append((position, f"__e[{seen_here[arg.name]}]"))
-            else:
-                seen_here[arg.name] = position
-                bindings.append((position, arg.name))
-
-        key_var = emitter.fresh("e")
-        val_var = emitter.fresh("v")
-        arity = len(ref.args)
-        if arity == 0:
-            value = f"{local}.get((), 0)"
-            term = f"(1 if {value} != 0 else 0)" if cap_value else value
-            self._emit_product(rest, terms + [term])
+        if isinstance(stmt, Block):
+            for comment in stmt.comments:
+                emitter.line(f"# {comment}")
+            self.render_body(stmt.stmts)
             return
+        if isinstance(stmt, Assign):
+            emitter.line(f"{stmt.name} = {self.expr(stmt.value)}")
+            return
+        if isinstance(stmt, Accum):
+            emitter.line(f"{stmt.name} += {self.expr(stmt.value)}")
+            return
+        if isinstance(stmt, IfCond):
+            emitter.line(f"if {self.cond(stmt.cond)}:")
+            with emitter.block():
+                self.render_body(stmt.body)
+            return
+        if isinstance(stmt, ForEachMap):
+            self._render_map_loop(stmt)
+            return
+        if isinstance(stmt, ForEachRow):
+            params = stmt.params
+            if not params:
+                target = "_"
+            elif len(params) == 1:
+                target = f"{params[0]},"
+            else:
+                target = ", ".join(params)
+            emitter.line(f"for {target} in {stmt.rows_var}:")
+            with emitter.block():
+                self.render_body(stmt.body)
+            return
+        if isinstance(stmt, AddTo):
+            self._render_add_to(stmt)
+            return
+        if isinstance(stmt, AppendTo):
+            key = self._key_code([self.expr(k) for k in stmt.keys])
+            emitter.line(
+                f"{stmt.buffer}.append(({key}, {self.expr(stmt.value)}))"
+            )
+            return
+        if isinstance(stmt, BufferDecl):
+            emitter.line(f"{stmt.name} = []")
+            return
+        if isinstance(stmt, FlushBuffer):
+            emitter.line(f"for __key, __val in {stmt.name}:")
+            with emitter.block():
+                self._emit_apply(
+                    target=stmt.target.name,
+                    key_code="__key",
+                    val_code="__val",
+                    key_parts=None,
+                )
+            return
+        if isinstance(stmt, LocalMapDecl):
+            emitter.line(f"{stmt.name} = {{}}")
+            return
+        if isinstance(stmt, MergeInto):
+            source = (
+                stmt.source.name
+                if stmt.source.local
+                else map_local(stmt.source.name)
+            )
+            emitter.line(f"for __key, __val in {source}.items():")
+            with emitter.block():
+                self._emit_apply(
+                    target=stmt.target.name,
+                    key_code="__key",
+                    val_code="__val",
+                    key_parts=None,
+                )
+            return
+        if isinstance(stmt, Clear):
+            storage = (
+                stmt.target.name
+                if stmt.target.local
+                else map_local(stmt.target.name)
+            )
+            emitter.line(f"{storage}.clear()")
+            return
+        raise CodegenError(f"cannot render IR statement {stmt!r}")
 
-        # Rebind the element variable name used by duplicate-position filters.
-        filters = [(p, c.replace("__e[", f"{key_var}[")) for p, c in filters]
-
-        pattern = tuple(sorted(p for p, _ in filters))
-        partially_bound = bool(bindings) and bool(filters)
-        if partially_bound and self.patterns is not None:
-            self.patterns.setdefault(ref.name, set()).add(pattern)
-
+    def _render_map_loop(self, stmt: ForEachMap) -> None:
+        emitter = self.emitter
+        key_var = stmt.entry_var
+        val_var = stmt.value_var
+        if stmt.slot.local:
+            source = stmt.slot.name
+        else:
+            source = map_local(stmt.slot.name)
+        keyat = any(isinstance(expr, KeyAt) for _, expr in stmt.filters)
         use_index = (
-            partially_bound and pattern in self.indexes.get(ref.name, ())
+            not stmt.slot.local
+            and not keyat
+            and bool(stmt.binds)
+            and bool(stmt.filters)
+            and stmt.pattern in self.indexes.get(stmt.slot.name, ())
         )
         if use_index:
             # Probe the secondary index: only matching entries are touched.
-            subkey_parts = [c for _, c in sorted(filters)]
+            subkey_parts = [
+                self.expr(expr) for _, expr in sorted(stmt.filters)
+            ]
             subkey = (
                 f"({subkey_parts[0]},)"
                 if len(subkey_parts) == 1
                 else "(" + ", ".join(subkey_parts) + ")"
             )
-            idx = index_name(ref.name, pattern)
+            idx = index_name(stmt.slot.name, stmt.pattern)
             emitter.line(
                 f"for {key_var}, {val_var} in {idx}.get({subkey}, _EMPTY).items():"
             )
-            remaining_filters: list[tuple[int, str]] = []
+            remaining: list[tuple[int, IRExpr]] = []
         else:
-            emitter.line(f"for {key_var}, {val_var} in {local}.items():")
-            remaining_filters = filters
+            emitter.line(f"for {key_var}, {val_var} in {source}.items():")
+            remaining = list(stmt.filters)
         with emitter.block():
-            conditions = [f"{key_var}[{p}] == {c}" for p, c in remaining_filters]
+            conditions = [
+                f"{key_var}[{pos}] == {self._filter_code(expr, key_var)}"
+                for pos, expr in remaining
+            ]
             if conditions:
                 emitter.line(f"if not ({' and '.join(conditions)}): continue")
-            for position, var in bindings:
-                emitter.line(f"{var} = {key_var}[{position}]")
-                self.bound.add(var)
-            term = f"(1 if {val_var} != 0 else 0)" if cap_value else val_var
-            self._emit_product(rest, terms + [term])
-        for _, var in bindings:
-            self.bound.discard(var)
+            for pos, name in stmt.binds:
+                emitter.line(f"{name} = {key_var}[{pos}]")
+            self.render_body(stmt.body)
 
-    def _emit_update(self, terms: list[str]) -> None:
-        emitter = self.emitter
-        statement = self.statement
-        value = " * ".join(terms) if terms else "1"
-        if self.batch_acc is not None and not statement.args:
-            emitter.line(f"{self.batch_acc} += {value}")
-            return
-        if self.batch_acc is not None:
-            val_var = emitter.fresh("d")
-            emitter.line(f"{val_var} = {value}")
-            emitter.line(f"if {val_var} != 0:")
-            with emitter.block():
-                key_var = emitter.fresh("k")
-                emitter.line(f"{key_var} = {self._key_code()}")
-                emitter.line(
-                    f"{self.batch_acc}[{key_var}] = "
-                    f"{self.batch_acc}.get({key_var}, 0) + {val_var}"
-                )
-            return
-        val_var = emitter.fresh("d")
-        emitter.line(f"{val_var} = {value}")
-        emitter.line(f"if {val_var} != 0:")
-        with emitter.block():
-            key = self._key_code()
-            if self.buffered:
-                emitter.line(
-                    f"__pending_{statement.target}.append(({key}, {val_var}))"
-                )
-                return
-            key_parts = [self._scalar_code(arg) for arg in statement.args]
-            _emit_apply(
-                emitter,
-                target=statement.target,
-                key_code=key,
-                val_code=val_var,
-                patterns=sorted(self.indexes.get(statement.target, ())),
-                key_parts=key_parts,
+    def _filter_code(self, expr: IRExpr, key_var: str) -> str:
+        if isinstance(expr, KeyAt):
+            return f"{key_var}[{expr.pos}]"
+        return self.expr(expr)
+
+    def _render_add_to(self, stmt: AddTo) -> None:
+        key_parts = [self.expr(k) for k in stmt.keys]
+        key = self._key_code(key_parts)
+        value = self.expr(stmt.value)
+        if stmt.slot.local:
+            # Batch accumulator: plain dict add, zeros kept (evicted when
+            # the accumulated delta is merged into the program map).
+            local = stmt.slot.name
+            key_var = self.emitter.fresh("k")
+            self.emitter.line(f"{key_var} = {key}")
+            self.emitter.line(
+                f"{local}[{key_var}] = {local}.get({key_var}, 0) + {value}"
             )
+            return
+        self._emit_apply(
+            target=stmt.slot.name,
+            key_code=key,
+            val_code=value,
+            key_parts=key_parts,
+        )
 
-    def _key_code(self) -> str:
-        args = self.statement.args
-        if not args:
+    def _emit_apply(
+        self,
+        target: str,
+        key_code: str,
+        val_code: str,
+        key_parts: Optional[list[str]],
+    ) -> None:
+        """``target[key] += val`` with zero eviction and index maintenance."""
+        emitter = self.emitter
+        local = map_local(target)
+        patterns = sorted(self.indexes.get(target, ()))
+        cur = emitter.fresh("c")
+        emitter.line(f"{cur} = {local}.get({key_code}, 0) + {val_code}")
+
+        def subkey_code(pattern: tuple[int, ...]) -> str:
+            if key_parts is not None:
+                parts = [key_parts[p] for p in pattern]
+            else:
+                parts = [f"{key_code}[{p}]" for p in pattern]
+            if len(parts) == 1:
+                return f"({parts[0]},)"
+            return "(" + ", ".join(parts) + ")"
+
+        emitter.line(f"if {cur} == 0:")
+        with emitter.block():
+            emitter.line(f"{local}.pop({key_code}, None)")
+            for pattern in patterns:
+                idx = index_name(target, pattern)
+                bucket = emitter.fresh("b")
+                emitter.line(f"{bucket} = {idx}.get({subkey_code(pattern)})")
+                emitter.line(f"if {bucket} is not None:")
+                with emitter.block():
+                    emitter.line(f"{bucket}.pop({key_code}, None)")
+                    emitter.line(f"if not {bucket}:")
+                    with emitter.block():
+                        emitter.line(f"{idx}.pop({subkey_code(pattern)}, None)")
+        emitter.line("else:")
+        with emitter.block():
+            emitter.line(f"{local}[{key_code}] = {cur}")
+            for pattern in patterns:
+                idx = index_name(target, pattern)
+                emitter.line(
+                    f"{idx}.setdefault({subkey_code(pattern)}, {{}})"
+                    f"[{key_code}] = {cur}"
+                )
+
+    @staticmethod
+    def _key_code(parts: list[str]) -> str:
+        if not parts:
             return "()"
-        parts = [self._scalar_code(arg) for arg in args]
         if len(parts) == 1:
             return f"({parts[0]},)"
         return "(" + ", ".join(parts) + ")"
 
-    # -- scalar expressions ------------------------------------------------
+    # -- expressions -------------------------------------------------------
 
-    def _is_scalar(self, expr: Expr) -> bool:
-        """True when the factor has no unbound outputs (pure value)."""
-        if isinstance(expr, (Const, Var, Cmp, Div)):
-            return True
-        if isinstance(expr, MapRef):
-            return all(
-                isinstance(a, Const) or a.name in self.bound for a in expr.args
+    def cond(self, expr: IRExpr) -> str:
+        """Render an expression in boolean (guard) position."""
+        if isinstance(expr, Compare):
+            return (
+                f"{self.expr(expr.left)} {_CMP_PY[expr.op]} "
+                f"{self.expr(expr.right)}"
             )
-        if isinstance(expr, Lift):
-            return False
-        if isinstance(expr, (AggSum, Exists)):
-            from repro.algebra.schema import output_vars
+        return self.expr(expr)
 
-            return all(v in self.bound for v in output_vars(expr))
-        if isinstance(expr, (Mul, Add, Neg)):
-            return all(self._is_scalar(c) for c in expr.children())
-        return False
-
-    def _scalar_code(self, expr: Expr) -> str:
+    def expr(self, expr: IRExpr) -> str:
         if isinstance(expr, Const):
             return repr(expr.value)
-        if isinstance(expr, Var):
+        if isinstance(expr, Name):
             return expr.name
         if isinstance(expr, Neg):
-            return f"(-{self._scalar_code(expr.body)})"
-        if isinstance(expr, Add):
-            return "(" + " + ".join(self._scalar_code(t) for t in expr.terms) + ")"
-        if isinstance(expr, Mul):
-            return "(" + " * ".join(self._scalar_code(f) for f in expr.factors) + ")"
-        if isinstance(expr, Div):
-            return f"_div({self._scalar_code(expr.left)}, {self._scalar_code(expr.right)})"
-        if isinstance(expr, Cmp):
-            op = _CMP_PY[expr.op]
+            return f"(-{self.expr(expr.body)})"
+        if isinstance(expr, Sum):
+            return "(" + " + ".join(self.expr(t) for t in expr.terms) + ")"
+        if isinstance(expr, Prod):
+            return " * ".join(self._factor(f) for f in expr.factors)
+        if isinstance(expr, SafeDiv):
+            return f"_div({self.expr(expr.left)}, {self.expr(expr.right)})"
+        if isinstance(expr, Compare):
             return (
-                f"(1 if {self._scalar_code(expr.left)} {op} "
-                f"{self._scalar_code(expr.right)} else 0)"
+                f"(1 if {self.expr(expr.left)} {_CMP_PY[expr.op]} "
+                f"{self.expr(expr.right)} else 0)"
             )
-        if isinstance(expr, MapRef):
-            local = map_local(expr.name)
-            if not expr.args:
-                return f"{local}.get((), 0)"
-            parts = [self._scalar_code(a) for a in expr.args]
-            key = f"({parts[0]},)" if len(parts) == 1 else "(" + ", ".join(parts) + ")"
-            return f"{local}.get({key}, 0)"
-        if isinstance(expr, Exists):
-            return f"(1 if {self._scalar_aggregate(expr.body)} != 0 else 0)"
-        if isinstance(expr, AggSum):
-            return self._scalar_aggregate(expr)
-        raise CodegenError(f"unsupported scalar expression {expr!r}")
+        if isinstance(expr, Lookup):
+            storage = (
+                expr.slot.name if expr.slot.local else map_local(expr.slot.name)
+            )
+            if not expr.keys:
+                return f"{storage}.get((), {expr.default!r})"
+            key = self._key_code([self.expr(k) for k in expr.keys])
+            return f"{storage}.get({key}, {expr.default!r})"
+        raise CodegenError(f"unsupported IR expression {expr!r}")
 
-    def _scalar_aggregate(self, expr: Expr) -> str:
-        """Evaluate a nested aggregate into a temp accumulator variable.
-
-        Used for non-linear positions (comparison operands, Exists bodies):
-        emits accumulation loops *before* the current line and returns the
-        accumulator's name.  Sum bodies accumulate term by term.
-        """
-        acc = self.emitter.fresh("acc")
-        self.emitter.line(f"{acc} = 0")
-        body = expr.body if isinstance(expr, AggSum) else expr
-        saved_bound = set(self.bound)
-        collector = _AccumulatorGen(self, acc)
-        for coeff, factors in monomials(body):
-            prefix = [] if coeff == 1 else [Const(coeff)]
-            collector.emit(prefix + list(factors))
-            self.bound = set(saved_bound)
-        return acc
-
-
-class _AccumulatorGen:
-    """Emits ``acc += value`` loops for a nested (scalar) aggregate."""
-
-    def __init__(self, parent: _StatementGen, acc: str) -> None:
-        self.parent = parent
-        self.acc = acc
-
-    def emit(self, factors: list[Expr]) -> None:
-        parent = self.parent
-        emitter = parent.emitter
-
-        # Reuse the product emitter, but accumulate instead of updating the
-        # target map: temporarily swap _emit_update.
-        original = parent._emit_update
-
-        def accumulate(terms: list[str]) -> None:
-            value = " * ".join(terms) if terms else "1"
-            emitter.line(f"{self.acc} += {value}")
-
-        parent._emit_update = accumulate  # type: ignore[method-assign]
-        try:
-            parent._emit_product(list(factors), [])
-        finally:
-            parent._emit_update = original  # type: ignore[method-assign]
-
-
-def _factors_of(expr: Expr) -> list[Expr]:
-    if isinstance(expr, Mul):
-        return list(expr.factors)
-    return [expr]
-
-
+    def _factor(self, expr: IRExpr) -> str:
+        code = self.expr(expr)
+        if isinstance(expr, Prod):
+            return f"({code})"
+        return code
 
 
 class CompiledExecutor:
     """Compiles the trigger module and dispatches events to its functions.
 
     ``use_indexes=False`` disables secondary index generation (the access-
-    pattern ablation benchmark).
+    pattern ablation benchmark); ``optimize=False`` disables the IR pass
+    pipeline (the loop-optimisation ablation).
     """
 
     mode = "compiled"
@@ -743,13 +529,17 @@ class CompiledExecutor:
         program: CompiledProgram,
         maps: Optional[dict] = None,
         use_indexes: bool = True,
+        optimize: bool = True,
     ):
         self.program = program
         self.use_indexes = use_indexes
+        self.optimize = optimize
         self._index_patterns = (
-            collect_patterns(program) if use_indexes else {}
+            collect_patterns(program, optimize=optimize) if use_indexes else {}
         )
-        self.source = generate_module(program, use_indexes=use_indexes)
+        self.source = generate_module(
+            program, use_indexes=use_indexes, optimize=optimize
+        )
         self._functions: dict[tuple[str, int], object] = {}
         self._batch_functions: dict[tuple[str, int], object] = {}
         self._maps: Optional[dict] = None

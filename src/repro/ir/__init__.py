@@ -1,0 +1,44 @@
+"""The imperative trigger IR: one typed loop-level lowering shared by the
+Python generator, the C++ generator and the interpreted executor.
+
+Pipeline position::
+
+    SQL -> calculus -> delta -> materialise -> statements
+        -> ir.lower (this package) -> ir.optimize -> { pygen, cppgen, interp }
+
+Real DBToaster lowers through its M3 map-maintenance language the same
+way; lowering once means every backend shares loop structure, semantics
+fixes land once, and loop-level optimisation (invariant hoisting, loop
+fusion, CSE, dead-map elimination) has a home.
+"""
+
+from repro.ir.lower import (
+    collect_patterns_ir,
+    lower_program,
+    lower_trigger,
+    lower_trigger_batch,
+)
+from repro.ir.optimize import (
+    DEFAULT_PASSES,
+    dead_map_names,
+    exact_value_maps,
+    optimize_program,
+)
+from repro.ir.pretty import ir_stats, program_str, trigger_str
+from repro.ir.nodes import ProgramIR, TriggerIR
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "ProgramIR",
+    "TriggerIR",
+    "collect_patterns_ir",
+    "dead_map_names",
+    "exact_value_maps",
+    "ir_stats",
+    "lower_program",
+    "lower_trigger",
+    "lower_trigger_batch",
+    "optimize_program",
+    "program_str",
+    "trigger_str",
+]

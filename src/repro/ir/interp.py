@@ -1,0 +1,261 @@
+"""Direct interpretation of the trigger IR.
+
+The interpreted engine mode walks the same lowered (and optimised) IR the
+code generators render, instead of re-deriving loops from the calculus
+per event.  It deliberately stays a tree-walker — every event re-traverses
+the IR nodes — so the compiled-vs-interpreted ablation still isolates
+exactly what code generation removes.
+
+``run_trigger`` executes one trigger body against the engine's maps;
+``collect`` mode additionally records every map update a block performed
+(the debugger's statement trace).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CodegenError
+from repro.ir.nodes import (
+    AddTo,
+    AppendTo,
+    Assign,
+    Accum,
+    Block,
+    BufferDecl,
+    Clear,
+    Compare,
+    Const,
+    FlushBuffer,
+    ForEachMap,
+    ForEachRow,
+    IfCond,
+    IRExpr,
+    IRStmt,
+    KeyAt,
+    LocalMapDecl,
+    Lookup,
+    MergeInto,
+    Name,
+    Neg,
+    Prod,
+    SafeDiv,
+    Slot,
+    Sum,
+    TriggerIR,
+)
+
+
+def _eval(expr: IRExpr, env: dict, maps: dict, entry: Optional[tuple]) -> object:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Name):
+        return env[expr.name]
+    if isinstance(expr, Prod):
+        value = _eval(expr.factors[0], env, maps, entry)
+        for factor in expr.factors[1:]:
+            value = value * _eval(factor, env, maps, entry)
+        return value
+    if isinstance(expr, Sum):
+        value = _eval(expr.terms[0], env, maps, entry)
+        for term in expr.terms[1:]:
+            value = value + _eval(term, env, maps, entry)
+        return value
+    if isinstance(expr, Lookup):
+        storage = env[expr.slot.name] if expr.slot.local else maps[expr.slot.name]
+        key = tuple(_eval(k, env, maps, entry) for k in expr.keys)
+        return storage.get(key, expr.default)
+    if isinstance(expr, Compare):
+        left = _eval(expr.left, env, maps, entry)
+        right = _eval(expr.right, env, maps, entry)
+        return 1 if _compare(expr.op, left, right) else 0
+    if isinstance(expr, Neg):
+        return -_eval(expr.body, env, maps, entry)
+    if isinstance(expr, SafeDiv):
+        num = _eval(expr.left, env, maps, entry)
+        den = _eval(expr.right, env, maps, entry)
+        return 0 if den == 0 else num / den
+    if isinstance(expr, KeyAt):
+        return entry[expr.pos]
+    raise CodegenError(f"cannot interpret IR expression {expr!r}")
+
+
+def _compare(op: str, left, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _storage(slot: Slot, env: dict, maps: dict) -> dict:
+    return env[slot.name] if slot.local else maps[slot.name]
+
+
+class _Recorder:
+    """Per-block update collection for profiling and the debugger."""
+
+    __slots__ = ("updates",)
+
+    def __init__(self) -> None:
+        self.updates: list[tuple[str, tuple, object]] = []
+
+    def record(self, target: str, key: tuple, value: object) -> None:
+        self.updates.append((target, key, value))
+
+
+def run_stmts(
+    stmts,
+    env: dict,
+    maps: dict,
+    recorder: Optional[_Recorder] = None,
+    entry: Optional[tuple] = None,
+) -> None:
+    for stmt in stmts:
+        run_stmt(stmt, env, maps, recorder, entry)
+
+
+def run_stmt(
+    stmt: IRStmt,
+    env: dict,
+    maps: dict,
+    recorder: Optional[_Recorder],
+    entry: Optional[tuple] = None,
+) -> None:
+    if isinstance(stmt, Block):
+        run_stmts(stmt.stmts, env, maps, recorder, entry)
+        return
+    if isinstance(stmt, Assign):
+        env[stmt.name] = _eval(stmt.value, env, maps, entry)
+        return
+    if isinstance(stmt, Accum):
+        env[stmt.name] = env[stmt.name] + _eval(stmt.value, env, maps, entry)
+        return
+    if isinstance(stmt, IfCond):
+        if _eval(stmt.cond, env, maps, entry):
+            run_stmts(stmt.body, env, maps, recorder, entry)
+        return
+    if isinstance(stmt, ForEachMap):
+        storage = _storage(stmt.slot, env, maps)
+        binds = stmt.binds
+        value_var = stmt.value_var
+        body = stmt.body
+        filters = stmt.filters
+        for key, value in storage.items():
+            ok = True
+            for pos, expr in filters:
+                if key[pos] != _eval(expr, env, maps, key):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            for pos, name in binds:
+                env[name] = key[pos]
+            env[value_var] = value
+            run_stmts(body, env, maps, recorder, key)
+        return
+    if isinstance(stmt, ForEachRow):
+        params = stmt.params
+        body = stmt.body
+        for row in env[stmt.rows_var]:
+            for name, value in zip(params, row):
+                env[name] = value
+            run_stmts(body, env, maps, recorder, entry)
+        return
+    if isinstance(stmt, AddTo):
+        storage = _storage(stmt.slot, env, maps)
+        key = tuple(_eval(k, env, maps, entry) for k in stmt.keys)
+        value = _eval(stmt.value, env, maps, entry)
+        current = storage.get(key, 0) + value
+        if stmt.evict and current == 0:
+            storage.pop(key, None)
+        else:
+            storage[key] = current
+        if recorder is not None and not stmt.slot.local:
+            recorder.record(stmt.slot.name, key, value)
+        return
+    if isinstance(stmt, AppendTo):
+        key = tuple(_eval(k, env, maps, entry) for k in stmt.keys)
+        value = _eval(stmt.value, env, maps, entry)
+        env[stmt.buffer].append((key, value))
+        if recorder is not None:
+            recorder.record(stmt.target.name, key, value)
+        return
+    if isinstance(stmt, BufferDecl):
+        env[stmt.name] = []
+        return
+    if isinstance(stmt, FlushBuffer):
+        storage = _storage(stmt.target, env, maps)
+        for key, value in env[stmt.name]:
+            current = storage.get(key, 0) + value
+            if current == 0:
+                storage.pop(key, None)
+            else:
+                storage[key] = current
+        return
+    if isinstance(stmt, LocalMapDecl):
+        env[stmt.name] = {}
+        return
+    if isinstance(stmt, MergeInto):
+        target = _storage(stmt.target, env, maps)
+        source = _storage(stmt.source, env, maps)
+        recording = recorder is not None and not stmt.target.local
+        for key, value in source.items():
+            current = target.get(key, 0) + value
+            if current == 0:
+                target.pop(key, None)
+            else:
+                target[key] = current
+            if recording:
+                recorder.record(stmt.target.name, key, value)
+        return
+    if isinstance(stmt, Clear):
+        _storage(stmt.target, env, maps).clear()
+        return
+    raise CodegenError(f"cannot interpret IR statement {stmt!r}")
+
+
+def run_trigger(
+    trigger_ir: TriggerIR,
+    values,
+    maps: dict,
+    profiler=None,
+) -> None:
+    """Execute one per-event trigger body."""
+    env = dict(zip(trigger_ir.params, values))
+    if profiler is None:
+        run_stmts(trigger_ir.body, env, maps, None)
+        return
+    for stmt in trigger_ir.body:
+        if isinstance(stmt, Block):
+            recorder = _Recorder()
+            run_stmt(stmt, env, maps, recorder)
+            counts: dict[str, int] = {}
+            for target, _key, _value in recorder.updates:
+                counts[target] = counts.get(target, 0) + 1
+            for target in stmt.targets:
+                profiler.record_statement(target, counts.get(target, 0))
+        else:
+            run_stmt(stmt, env, maps, None)
+
+
+def run_trigger_collect(
+    trigger_ir: TriggerIR, values, maps: dict
+) -> list[tuple[Block, list[tuple[str, tuple, object]]]]:
+    """Execute a trigger, returning per-block update traces (debugger)."""
+    env = dict(zip(trigger_ir.params, values))
+    traces: list[tuple[Block, list[tuple[str, tuple, object]]]] = []
+    for stmt in trigger_ir.body:
+        if isinstance(stmt, Block):
+            recorder = _Recorder()
+            run_stmt(stmt, env, maps, recorder)
+            traces.append((stmt, recorder.updates))
+        else:
+            run_stmt(stmt, env, maps, None)
+    return traces

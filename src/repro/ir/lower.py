@@ -1,0 +1,628 @@
+"""Lowering: compiled delta statements → imperative trigger IR.
+
+One pass shared by every back end.  Each compiled
+:class:`~repro.compiler.program.Statement` (``target[args] += rhs`` with
+implied loops) lowers to a :class:`~repro.ir.nodes.Block`: nested map
+loops, lift assignments, comparison guards, nested-aggregate accumulator
+loops, and a final update whose shape depends on the *sink* — a direct
+map apply, a two-phase pending-buffer append (self-reading triggers), or
+a batch accumulator (scalar or keyed) for the ``*_batch`` variants.  The
+per-event and batch trigger bodies are both derived from this one
+statement lowering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CodegenError
+from repro.algebra.expr import (
+    Add,
+    AggSum,
+    Cmp,
+    Const as AConst,
+    Div,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Mul,
+    Neg as ANeg,
+    Var,
+)
+from repro.algebra.schema import output_vars
+from repro.algebra.simplify import monomials
+from repro.compiler.program import (
+    CompiledProgram,
+    Statement,
+    Trigger,
+    needs_buffering,
+)
+from repro.ir.nodes import (
+    AddTo,
+    AppendTo,
+    Assign,
+    Accum,
+    Block,
+    BufferDecl,
+    Compare,
+    Const,
+    FlushBuffer,
+    ForEachMap,
+    ForEachRow,
+    IfCond,
+    IRExpr,
+    IRStmt,
+    KeyAt,
+    LocalMapDecl,
+    Lookup,
+    MapDecl,
+    MergeInto,
+    Name,
+    Neg,
+    Prod,
+    ProgramIR,
+    SafeDiv,
+    Slot,
+    Sum,
+    TriggerIR,
+    walk_stmts,
+)
+
+
+def _factors_of(expr: Expr) -> list[Expr]:
+    if isinstance(expr, Mul):
+        return list(expr.factors)
+    return [expr]
+
+
+def pending_buffer(target: str) -> str:
+    """The pending-buffer local for a two-phase (buffered) target map."""
+    return f"__pending_{target}"
+
+
+class _Namer:
+    """Per-trigger deterministic gensym source."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"__{prefix}{self._counter}"
+
+
+class _Sink:
+    """How a statement's computed update leaves the loop nest."""
+
+    def __init__(
+        self,
+        kind: str,  # "direct" | "buffered" | "scalar-acc" | "keyed-acc"
+        target: str,
+        args: tuple[Expr, ...],
+        acc: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.target = target
+        self.args = args
+        self.acc = acc
+
+
+class _StatementLowering:
+    """Lowers one compiled statement into a list of IR statements.
+
+    A direct port of the recursive product emitter: scalars fold into the
+    running term list, comparisons become guards, lifts bind or test,
+    map references open loops, and nested aggregates accumulate into
+    temporaries emitted before their use site.
+    """
+
+    def __init__(
+        self,
+        statement: Statement,
+        params: tuple[str, ...],
+        sink: _Sink,
+        namer: _Namer,
+    ) -> None:
+        self.statement = statement
+        self.params = tuple(params)
+        self.sink = sink
+        self.namer = namer
+        self.bound: set[str] = set()
+
+    def lower(self) -> list[IRStmt]:
+        expanded = monomials(self.statement.rhs)
+        if not expanded:
+            return []  # identically zero RHS: nothing to do
+        if len(expanded) != 1:
+            raise CodegenError(
+                f"statement RHS must be a single monomial: {self.statement!r}"
+            )
+        coeff, factors = expanded[0]
+        self.bound = set(self.params)
+        terms: list[IRExpr] = [] if coeff == 1 else [Const(coeff)]
+        return self._product(list(factors), terms)
+
+    # -- the recursive product lowering -----------------------------------
+
+    def _product(self, factors: list[Expr], terms: list[IRExpr]) -> list[IRStmt]:
+        out: list[IRStmt] = []
+        factors = list(factors)
+        terms = list(terms)
+        while factors:
+            factor = factors[0]
+            if isinstance(factor, (AggSum, Exists)):
+                break  # handled by the dispatch below (flatten or guard)
+            if isinstance(factor, Cmp) and self._is_scalar(factor):
+                # Comparisons become guards: cheaper than multiplying 0/1
+                # and they short-circuit the rest of the statement.
+                left = self._scalar(factor.left, out)
+                right = self._scalar(factor.right, out)
+                out.append(
+                    IfCond(
+                        Compare(factor.op, left, right),
+                        tuple(self._product(factors[1:], terms)),
+                    )
+                )
+                return out
+            if self._is_scalar(factor):
+                terms.append(self._scalar(factor, out))
+                factors.pop(0)
+                continue
+            break
+        if not factors:
+            out.extend(self._update(terms))
+            return out
+
+        factor = factors.pop(0)
+        rest = factors
+
+        if isinstance(factor, Lift):
+            body = self._scalar(factor.body, out)
+            if factor.var in self.bound:
+                out.append(
+                    IfCond(
+                        Compare("=", Name(factor.var), body),
+                        tuple(self._product(rest, list(terms))),
+                    )
+                )
+                return out
+            out.append(Assign(factor.var, body))
+            self.bound.add(factor.var)
+            out.extend(self._product(rest, list(terms)))
+            return out
+
+        if isinstance(factor, MapRef):
+            out.extend(self._map_loop(factor, rest, terms))
+            return out
+
+        if isinstance(factor, AggSum):
+            # Linear position: flatten (grouping is reconstituted by the
+            # target accumulation; summed variables are invisible outside).
+            out.extend(self._product(_factors_of(factor.body) + rest, list(terms)))
+            return out
+
+        if isinstance(factor, Exists):
+            inner = factor.body
+            unbound = [v for v in output_vars(inner) if v not in self.bound]
+            if not unbound:
+                # Scalar existence test: accumulate the body value, then
+                # guard the rest of the statement on it being non-zero.
+                acc = self._scalar_aggregate(inner, out)
+                out.append(
+                    IfCond(
+                        Compare("!=", Name(acc), Const(0)),
+                        tuple(self._product(rest, list(terms))),
+                    )
+                )
+                return out
+            if isinstance(inner, MapRef):
+                out.extend(self._map_loop(inner, rest, terms, cap_value=True))
+                return out
+            raise CodegenError(f"unsupported Exists structure: {factor!r}")
+
+        raise CodegenError(f"cannot lower factor {factor!r} in {self.statement!r}")
+
+    def _map_loop(
+        self,
+        ref: MapRef,
+        rest: list[Expr],
+        terms: list[IRExpr],
+        cap_value: bool = False,
+    ) -> list[IRStmt]:
+        arity = len(ref.args)
+        if arity == 0:
+            value: IRExpr = Lookup(Slot(ref.name), ())
+            term = Compare("!=", value, Const(0)) if cap_value else value
+            return self._product(rest, terms + [term])
+
+        filters: list[tuple[int, IRExpr]] = []
+        binds: list[tuple[int, str]] = []
+        seen_here: dict[str, int] = {}
+        for position, arg in enumerate(ref.args):
+            if isinstance(arg, AConst):
+                filters.append((position, Const(arg.value)))
+            elif arg.name in self.bound:
+                filters.append((position, Name(arg.name)))
+            elif arg.name in seen_here:
+                filters.append((position, KeyAt(seen_here[arg.name])))
+            else:
+                seen_here[arg.name] = position
+                binds.append((position, arg.name))
+
+        entry_var = self.namer.fresh("e")
+        value_var = self.namer.fresh("v")
+        for _, var in binds:
+            self.bound.add(var)
+        term = (
+            Compare("!=", Name(value_var), Const(0))
+            if cap_value
+            else Name(value_var)
+        )
+        body = self._product(rest, terms + [term])
+        for _, var in binds:
+            self.bound.discard(var)
+        return [
+            ForEachMap(
+                Slot(ref.name),
+                entry_var,
+                value_var,
+                tuple(binds),
+                tuple(filters),
+                tuple(body),
+            )
+        ]
+
+    def _update(self, terms: list[IRExpr]) -> list[IRStmt]:
+        sink = self.sink
+        value = _prod(terms)
+        if sink.kind == "scalar-acc":
+            return [Accum(sink.acc, value)]
+        temp = self.namer.fresh("d")
+        guard_body: list[IRStmt]
+        if sink.kind == "keyed-acc":
+            guard_body = [
+                AddTo(
+                    Slot(sink.acc, local=True),
+                    self._key_exprs(),
+                    Name(temp),
+                    evict=False,
+                )
+            ]
+        elif sink.kind == "buffered":
+            guard_body = [
+                AppendTo(
+                    pending_buffer(sink.target),
+                    self._key_exprs(),
+                    Name(temp),
+                    target=Slot(sink.target),
+                )
+            ]
+        else:
+            guard_body = [AddTo(Slot(sink.target), self._key_exprs(), Name(temp))]
+        return [
+            Assign(temp, value),
+            IfCond(Compare("!=", Name(temp), Const(0)), tuple(guard_body)),
+        ]
+
+    def _key_exprs(self) -> tuple[IRExpr, ...]:
+        scratch: list[IRStmt] = []
+        keys = tuple(self._scalar(arg, scratch) for arg in self.sink.args)
+        if scratch:
+            raise CodegenError(
+                f"key expressions of {self.statement!r} must be loop-free"
+            )
+        return keys
+
+    # -- scalar expressions ------------------------------------------------
+
+    def _is_scalar(self, expr: Expr) -> bool:
+        """True when the factor has no unbound outputs (pure value)."""
+        if isinstance(expr, (AConst, Var, Cmp, Div)):
+            return True
+        if isinstance(expr, MapRef):
+            return all(isinstance(a, AConst) or a.name in self.bound for a in expr.args)
+        if isinstance(expr, Lift):
+            return False
+        if isinstance(expr, (AggSum, Exists)):
+            return all(v in self.bound for v in output_vars(expr))
+        if isinstance(expr, (Mul, Add, ANeg)):
+            return all(self._is_scalar(c) for c in expr.children())
+        return False
+
+    def _scalar(self, expr: Expr, prelude: list[IRStmt]) -> IRExpr:
+        """Translate a contextually scalar expression.
+
+        Nested aggregates (AggSum/Exists in value position) need loops:
+        those are appended to ``prelude`` and the aggregate becomes a
+        reference to the accumulator temp.
+        """
+        if isinstance(expr, AConst):
+            return Const(expr.value)
+        if isinstance(expr, Var):
+            return Name(expr.name)
+        if isinstance(expr, ANeg):
+            return Neg(self._scalar(expr.body, prelude))
+        if isinstance(expr, Add):
+            return Sum(tuple(self._scalar(t, prelude) for t in expr.terms))
+        if isinstance(expr, Mul):
+            return Prod(tuple(self._scalar(f, prelude) for f in expr.factors))
+        if isinstance(expr, Div):
+            return SafeDiv(
+                self._scalar(expr.left, prelude), self._scalar(expr.right, prelude)
+            )
+        if isinstance(expr, Cmp):
+            return Compare(
+                expr.op,
+                self._scalar(expr.left, prelude),
+                self._scalar(expr.right, prelude),
+            )
+        if isinstance(expr, MapRef):
+            keys = tuple(self._scalar(a, prelude) for a in expr.args)
+            return Lookup(Slot(expr.name), keys)
+        if isinstance(expr, Exists):
+            acc = self._scalar_aggregate(expr.body, prelude)
+            return Compare("!=", Name(acc), Const(0))
+        if isinstance(expr, AggSum):
+            return Name(self._scalar_aggregate(expr, prelude))
+        raise CodegenError(f"unsupported scalar expression {expr!r}")
+
+    def _scalar_aggregate(self, expr: Expr, prelude: list[IRStmt]) -> str:
+        """Lower a nested aggregate into accumulator loops.
+
+        The loops land in ``prelude`` (before the statement that uses the
+        value); the accumulator temp's name is returned.
+        """
+        acc = self.namer.fresh("acc")
+        prelude.append(Assign(acc, Const(0)))
+        body = expr.body if isinstance(expr, AggSum) else expr
+        saved_bound = set(self.bound)
+        saved_sink = self.sink
+        self.sink = _Sink("scalar-acc", saved_sink.target, (), acc=acc)
+        try:
+            for coeff, factors in monomials(body):
+                prefix = [] if coeff == 1 else [AConst(coeff)]
+                prelude.extend(self._product(prefix + list(factors), []))
+                self.bound = set(saved_bound)
+        finally:
+            self.sink = saved_sink
+        return acc
+
+
+def _prod(terms: list[IRExpr]) -> IRExpr:
+    if not terms:
+        return Const(1)
+    if len(terms) == 1:
+        return terms[0]
+    return Prod(tuple(terms))
+
+
+# ---------------------------------------------------------------------------
+# Trigger- and program-level lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_statement(
+    statement: Statement,
+    params: tuple[str, ...],
+    sink: _Sink,
+    namer: _Namer,
+) -> Block:
+    """Lower one compiled statement to a :class:`Block`."""
+    stmts = _StatementLowering(statement, params, sink, namer).lower()
+    return Block(
+        comments=(repr(statement),),
+        targets=(statement.target,),
+        stmts=tuple(stmts),
+        sources=(statement,),
+    )
+
+
+def lower_trigger(trigger: Trigger, namer: Optional[_Namer] = None) -> TriggerIR:
+    """The per-event trigger body (with two-phase buffering when needed)."""
+    namer = namer or _Namer()
+    buffered = needs_buffering(trigger.statements)
+    written = sorted({s.target for s in trigger.statements})
+    body: list[IRStmt] = []
+    if buffered:
+        body.extend(BufferDecl(pending_buffer(name)) for name in written)
+    for statement in trigger.statements:
+        kind = "buffered" if buffered else "direct"
+        sink = _Sink(kind, statement.target, statement.args)
+        body.append(lower_statement(statement, trigger.params, sink, namer))
+    if buffered:
+        body.extend(FlushBuffer(pending_buffer(name), Slot(name)) for name in written)
+    return TriggerIR(
+        relation=trigger.relation,
+        sign=trigger.sign,
+        name=trigger.name,
+        params=trigger.params,
+        body=tuple(body),
+    )
+
+
+def _accumulates(
+    statement: Statement,
+    trigger: Trigger,
+    patterns: dict[str, set[tuple[int, ...]]],
+) -> bool:
+    """Whether a batch-independent statement accumulates its batch delta
+    locally before touching the target map.
+
+    Always worthwhile for scalar targets (a local add per row).  Keyed
+    targets accumulate when keys are expected to repeat across the batch
+    (fewer key positions than event parameters — group-by style) or when
+    the target maintains secondary indexes (hoists index maintenance out
+    of the row loop); occurrence-style maps keyed by the whole event tuple
+    apply directly.
+    """
+    if not statement.args:
+        return True
+    if patterns.get(statement.target):
+        return True
+    return len(statement.args) < len(trigger.params)
+
+
+def lower_trigger_batch(
+    trigger: Trigger,
+    per_event: TriggerIR,
+    patterns: dict[str, set[tuple[int, ...]]],
+    namer: Optional[_Namer] = None,
+) -> TriggerIR:
+    """The batch trigger body, derived from the same statement lowering.
+
+    Independent triggers (no statement reads a map the trigger writes)
+    accumulate batch deltas in locals flushed once after the row loop;
+    everything else simply runs the per-event body once per row.
+    """
+    namer = namer or _Namer()
+    name = f"{trigger.name}_batch"
+    if not trigger.statements:
+        return TriggerIR(trigger.relation, trigger.sign, name, trigger.params, ())
+
+    written = {s.target for s in trigger.statements}
+    independent = not any(s.reads() & written for s in trigger.statements)
+    accs: dict[int, str] = {}
+    if independent:
+        for position, statement in enumerate(trigger.statements):
+            if _accumulates(statement, trigger, patterns):
+                accs[position] = f"__b{position}"
+
+    if not accs:
+        # Reuse the (already optimised) per-event blocks row by row.
+        return TriggerIR(
+            trigger.relation,
+            trigger.sign,
+            name,
+            trigger.params,
+            (ForEachRow("__rows", trigger.params, per_event.body),),
+        )
+
+    body: list[IRStmt] = []
+    for position, statement in enumerate(trigger.statements):
+        acc = accs.get(position)
+        if acc is None:
+            continue
+        body.append(
+            Assign(acc, Const(0))
+            if not statement.args
+            else LocalMapDecl(acc, arity=len(statement.args))
+        )
+    row_blocks: list[IRStmt] = []
+    for position, statement in enumerate(trigger.statements):
+        acc = accs.get(position)
+        if acc is None:
+            sink = _Sink("direct", statement.target, statement.args)
+        elif not statement.args:
+            sink = _Sink("scalar-acc", statement.target, statement.args, acc=acc)
+        else:
+            sink = _Sink("keyed-acc", statement.target, statement.args, acc=acc)
+        row_blocks.append(lower_statement(statement, trigger.params, sink, namer))
+    body.append(ForEachRow("__rows", trigger.params, tuple(row_blocks)))
+    for position, statement in enumerate(trigger.statements):
+        acc = accs.get(position)
+        if acc is None:
+            continue
+        if not statement.args:
+            body.append(
+                Block(
+                    comments=(),
+                    targets=(statement.target,),
+                    stmts=(
+                        IfCond(
+                            Compare("!=", Name(acc), Const(0)),
+                            (AddTo(Slot(statement.target), (), Name(acc)),),
+                        ),
+                    ),
+                    sources=(statement,),
+                )
+            )
+        else:
+            body.append(
+                Block(
+                    comments=(),
+                    targets=(statement.target,),
+                    stmts=(MergeInto(Slot(statement.target), Slot(acc, local=True)),),
+                    sources=(statement,),
+                )
+            )
+    return TriggerIR(trigger.relation, trigger.sign, name, trigger.params, tuple(body))
+
+
+def collect_patterns_ir(triggers) -> dict[str, set[tuple[int, ...]]]:
+    """Access patterns needing secondary indexes, from the lowered loops.
+
+    A pattern is the sorted tuple of key positions a partially-bound map
+    loop filters on — real DBToaster's in/out patterns.  Loops whose
+    filters reference the key tuple itself (repeated loop variables) scan.
+    """
+    patterns: dict[str, set[tuple[int, ...]]] = {}
+    for trigger_ir in triggers:
+        for stmt in walk_stmts(trigger_ir.body):
+            if not isinstance(stmt, ForEachMap) or stmt.slot.local:
+                continue
+            if not stmt.binds or not stmt.filters:
+                continue
+            if any(isinstance(expr, KeyAt) for _, expr in stmt.filters):
+                continue
+            patterns.setdefault(stmt.slot.name, set()).add(stmt.pattern)
+    return patterns
+
+
+def lower_program(
+    program: CompiledProgram,
+    optimize: bool = True,
+    passes: Optional[tuple[str, ...]] = None,
+) -> ProgramIR:
+    """Lower (and optionally optimise) a whole compiled program.
+
+    The result is cached on the program object: every back end asking for
+    the same ``(optimize, passes)`` configuration shares one ProgramIR.
+    """
+    from repro.ir.optimize import DEFAULT_PASSES, optimize_program
+
+    if passes is not None:
+        wanted = tuple(passes)
+    else:
+        wanted = DEFAULT_PASSES if optimize else ()
+    cache = program.__dict__.setdefault("_ir_cache", {})
+    cached = cache.get(wanted)
+    if cached is not None:
+        return cached
+
+    maps = {
+        name: MapDecl(
+            name=name,
+            arity=map_def.arity,
+            keys=map_def.keys,
+            role=map_def.role,
+            defn=repr(map_def.defn),
+        )
+        for name, map_def in program.maps.items()
+    }
+    triggers: dict[tuple[str, int], TriggerIR] = {}
+    namers: dict[tuple[str, int], _Namer] = {}
+    for key, trigger in program.triggers.items():
+        namer = _Namer()
+        namers[key] = namer
+        triggers[key] = lower_trigger(trigger, namer)
+
+    ir = ProgramIR(maps=maps, triggers=triggers, batch_triggers={}, passes=())
+    if wanted:
+        ir = optimize_program(ir, program, wanted)
+
+    # Batch variants are derived from the (optimised) per-event bodies so
+    # both variants share one loop-level lowering; the acc-based variants
+    # re-lower statements with redirected sinks and go through the same
+    # pass pipeline.
+    patterns = collect_patterns_ir(ir.triggers.values())
+    batch: dict[tuple[str, int], TriggerIR] = {}
+    for key, trigger in program.triggers.items():
+        batch[key] = lower_trigger_batch(
+            trigger, ir.triggers[key], patterns, namers[key]
+        )
+    ir.batch_triggers = batch
+    if wanted:
+        ir = optimize_program(ir, program, wanted, batch_only=True)
+    cache[wanted] = ir
+    return ir

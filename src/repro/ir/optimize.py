@@ -1,0 +1,670 @@
+"""IR optimisation passes: the loop-level rewrites the Expr tree had no
+home for.
+
+The pipeline (in application order):
+
+* ``dead-maps`` — drop maintenance of maps nothing reads and no query
+  slot exposes (statement-level analysis, so the per-event and batch
+  variants stay consistent);
+* ``fuse-loops`` — merge statements iterating the same map with the same
+  filters into one traversal (vwap's two full scans become one);
+* ``merge-guards`` — combine adjacent identical guards;
+* ``cse`` — reuse identical pure scalar temps within a straight line;
+* ``hoist-invariants`` — move loop-invariant lookups/arithmetic (vwap's
+  ``0.25 * total`` threshold) out of the loops that recompute them;
+* ``prune-bindings`` — stop binding key positions the loop body never
+  reads (mst binds one of five).
+
+Every pass is semantics-preserving *including float bit-identity*: a
+rewrite that would reorder additions into a map is only applied when the
+map's ring values are provably exact (integer — no FLOAT relations, no
+division and no float literals in value position of its definition), the
+same discipline the sharding analysis uses for cross-shard sums.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.expr import Cmp, Const as AConst, Div, Expr, relations_in
+from repro.compiler.program import CompiledProgram
+from repro.ir.nodes import (
+    AddTo,
+    AppendTo,
+    Assign,
+    Accum,
+    Block,
+    BufferDecl,
+    Clear,
+    Compare,
+    FlushBuffer,
+    ForEachMap,
+    ForEachRow,
+    IfCond,
+    IRExpr,
+    IRStmt,
+    Lookup,
+    MergeInto,
+    Name,
+    Neg,
+    Prod,
+    ProgramIR,
+    SafeDiv,
+    Slot,
+    Sum,
+    TriggerIR,
+    assigned_names,
+    expr_names,
+    expr_slots,
+    expr_has_keyat,
+    rename_stmt,
+    rewrite_exprs,
+    stmt_children,
+    stmt_exprs,
+    walk_stmts,
+)
+
+DEFAULT_PASSES: tuple[str, ...] = (
+    "dead-maps",
+    "fuse-loops",
+    "merge-guards",
+    "cse",
+    "hoist-invariants",
+    "prune-bindings",
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared analyses
+# ---------------------------------------------------------------------------
+
+
+def _applied_writes(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
+    """Slots whose *contents* change while the statements run.
+
+    Pending-buffer appends are excluded: the map itself is untouched until
+    the flush, so reads commute with them.
+    """
+    out: set[Slot] = set()
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, AddTo):
+            out.add(stmt.slot)
+        elif isinstance(stmt, (MergeInto, FlushBuffer, Clear)):
+            out.add(stmt.target)
+    return frozenset(out)
+
+
+def _ordered_writes(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
+    """Slots whose per-key addition *order* the statements contribute to
+    (applied writes plus pending appends, which apply in append order)."""
+    out = set(_applied_writes(stmts))
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, AppendTo):
+            out.add(stmt.target)
+    return frozenset(out)
+
+
+def _reads(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
+    out: set[Slot] = set()
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, ForEachMap):
+            out.add(stmt.slot)
+        elif isinstance(stmt, MergeInto):
+            out.add(stmt.source)
+        for expr in stmt_exprs(stmt):
+            out.update(expr_slots(expr))
+    return frozenset(out)
+
+
+def _used_names(stmts: Iterable[IRStmt]) -> frozenset[str]:
+    out: set[str] = set()
+    for stmt in walk_stmts(stmts):
+        for expr in stmt_exprs(stmt):
+            out.update(expr_names(expr))
+    return frozenset(out)
+
+
+def exact_value_maps(program: CompiledProgram) -> frozenset[str]:
+    """Maps whose ring values are provably exact integers.
+
+    Additions into these maps commute bit-identically, so passes may
+    reorder them.  A map qualifies when its defining query touches no
+    FLOAT relation and its value positions contain no division and no
+    float literal (comparison operands are 0/1-producing and don't
+    count).
+    """
+    out: set[str] = set()
+    for name, map_def in program.maps.items():
+        if relations_in(map_def.defn) & set(program.float_relations):
+            continue
+        if _value_position_inexact(map_def.defn):
+            continue
+        out.add(name)
+    return frozenset(out)
+
+
+def _value_position_inexact(expr: Expr) -> bool:
+    if isinstance(expr, Cmp):
+        return False  # comparisons yield 0/1 whatever their operands
+    if isinstance(expr, Div):
+        return True
+    if isinstance(expr, AConst):
+        return isinstance(expr.value, float)
+    return any(_value_position_inexact(c) for c in expr.children())
+
+
+def dead_map_names(program: CompiledProgram) -> frozenset[str]:
+    """Maps no statement reads and no query slot exposes.
+
+    Computed at the statement level so per-event and batch lowerings see
+    the same verdict.
+    """
+    read: set[str] = set()
+    for trigger in program.triggers.values():
+        for statement in trigger.statements:
+            read.update(statement.reads())
+    roots = {name for names in program.slot_maps.values() for name in names}
+    return frozenset(
+        name for name in program.maps if name not in read and name not in roots
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pass: dead-map elimination
+# ---------------------------------------------------------------------------
+
+
+def _drop_dead(body: tuple[IRStmt, ...], dead: frozenset[str]) -> tuple[IRStmt, ...]:
+    out: list[IRStmt] = []
+    for stmt in body:
+        if (
+            isinstance(stmt, Block)
+            and stmt.targets
+            and all(t in dead for t in stmt.targets)
+        ):
+            continue
+        if isinstance(stmt, BufferDecl) and stmt.name in {
+            f"__pending_{name}" for name in dead
+        }:
+            continue
+        if isinstance(stmt, FlushBuffer) and stmt.target.name in dead:
+            continue
+        if isinstance(stmt, ForEachRow):
+            out.append(
+                ForEachRow(stmt.rows_var, stmt.params, _drop_dead(stmt.body, dead))
+            )
+            continue
+        out.append(stmt)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Pass: loop fusion
+# ---------------------------------------------------------------------------
+
+
+def _single_loop(stmt: IRStmt):
+    """The block's sole top-level statement, when it is one map loop."""
+    if (
+        isinstance(stmt, Block)
+        and len(stmt.stmts) == 1
+        and isinstance(stmt.stmts[0], ForEachMap)
+    ):
+        return stmt.stmts[0]
+    return None
+
+
+def _loops_compatible(a: ForEachMap, b: ForEachMap) -> bool:
+    if a.slot != b.slot or a.filters != b.filters:
+        return False
+    # Neither body may touch the iterated map while it is being scanned.
+    if a.slot in _applied_writes(a.body) or a.slot in _applied_writes(b.body):
+        return False
+    return True
+
+
+def _may_reorder(
+    mover: Block, blocked_by: list[IRStmt], exact: frozenset[str], params: set[str]
+) -> bool:
+    """May ``mover`` move up, past ``blocked_by``, without changing maps?"""
+    mover_stmts = (mover,)
+    if not (_used_names(mover_stmts) - assigned_names(mover_stmts)) <= params:
+        return False
+    m_applied = _applied_writes(mover_stmts)
+    m_ordered = _ordered_writes(mover_stmts)
+    m_reads = _reads(mover_stmts)
+    for other in blocked_by:
+        o_stmts = (other,)
+        overlap = _ordered_writes(o_stmts) & m_ordered
+        if any(slot.local or slot.name not in exact for slot in overlap):
+            return False
+        if _applied_writes(o_stmts) & m_reads:
+            return False
+        if m_applied & _reads(o_stmts):
+            return False
+    return True
+
+
+def _fusable_bodies(a: ForEachMap, b: ForEachMap, exact: frozenset[str]) -> bool:
+    """Interleaving the two bodies must not change reads or float sums."""
+    if _applied_writes(a.body) & _reads(b.body):
+        return False
+    if _applied_writes(b.body) & _reads(a.body):
+        return False
+    overlap = _ordered_writes(a.body) & _ordered_writes(b.body)
+    return not any(slot.local or slot.name not in exact for slot in overlap)
+
+
+def _fuse_pair(block_a: Block, block_b: Block) -> Block:
+    loop_a = block_a.stmts[0]
+    loop_b = block_b.stmts[0]
+    mapping = {
+        loop_b.entry_var: loop_a.entry_var,
+        loop_b.value_var: loop_a.value_var,
+    }
+    a_binds = dict(loop_a.binds)
+    for pos, name in loop_b.binds:
+        if pos in a_binds and name != a_binds[pos]:
+            mapping[name] = a_binds[pos]
+    merged_binds = list(loop_a.binds)
+    bound_positions = set(a_binds)
+    bound_names = set(a_binds.values())
+    for pos, name in loop_b.binds:
+        if pos not in bound_positions:
+            target_name = mapping.get(name, name)
+            merged_binds.append((pos, target_name))
+            bound_names.add(target_name)
+    renamed_body = tuple(rename_stmt(s, mapping) for s in loop_b.body)
+    fused_loop = ForEachMap(
+        loop_a.slot,
+        loop_a.entry_var,
+        loop_a.value_var,
+        tuple(sorted(merged_binds)),
+        loop_a.filters,
+        loop_a.body + renamed_body,
+    )
+    return Block(
+        comments=block_a.comments + block_b.comments,
+        targets=block_a.targets + block_b.targets,
+        stmts=(fused_loop,),
+        sources=block_a.sources + block_b.sources,
+    )
+
+
+def _rename_collides(block_a: Block, block_b: Block) -> bool:
+    loop_a = block_a.stmts[0]
+    loop_b = block_b.stmts[0]
+    a_binds = dict(loop_a.binds)
+    for pos, name in loop_b.binds:
+        if pos not in a_binds and name in set(a_binds.values()):
+            return True
+    return False
+
+
+def _fuse_sequence(
+    stmts: tuple[IRStmt, ...], exact: frozenset[str], params: set[str]
+) -> tuple[IRStmt, ...]:
+    out = [
+        ForEachRow(s.rows_var, s.params, _fuse_sequence(s.body, exact, set(s.params)))
+        if isinstance(s, ForEachRow)
+        else s
+        for s in stmts
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for i, candidate_a in enumerate(out):
+            loop_a = _single_loop(candidate_a)
+            if loop_a is None:
+                continue
+            for j in range(i + 1, len(out)):
+                candidate_b = out[j]
+                loop_b = _single_loop(candidate_b)
+                if loop_b is None:
+                    continue
+                if not _loops_compatible(loop_a, loop_b):
+                    continue
+                if _rename_collides(candidate_a, candidate_b):
+                    continue
+                if not _fusable_bodies(loop_a, loop_b, exact):
+                    continue
+                between = out[i + 1 : j]
+                if not _may_reorder(candidate_b, between, exact, params):
+                    continue
+                out[i] = _fuse_pair(candidate_a, candidate_b)
+                del out[j]
+                changed = True
+                break
+            if changed:
+                break
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Pass: merge adjacent identical guards
+# ---------------------------------------------------------------------------
+
+
+def _merge_guards(stmts: tuple[IRStmt, ...]) -> tuple[IRStmt, ...]:
+    out: list[IRStmt] = []
+    for stmt in stmts:
+        stmt = _rebuild_with_body(stmt, _merge_guards)
+        previous = out[-1] if out else None
+        if (
+            isinstance(stmt, IfCond)
+            and isinstance(previous, IfCond)
+            and previous.cond == stmt.cond
+            and not _invalidates_cond(previous.body, stmt.cond)
+        ):
+            out[-1] = IfCond(previous.cond, previous.body + stmt.body)
+        else:
+            out.append(stmt)
+    return tuple(out)
+
+
+def _invalidates_cond(body: tuple[IRStmt, ...], cond: IRExpr) -> bool:
+    if assigned_names(body) & expr_names(cond):
+        return True
+    return bool(_applied_writes(body) & expr_slots(cond))
+
+
+def _rebuild_with_body(stmt: IRStmt, fn) -> IRStmt:
+    if isinstance(stmt, IfCond):
+        return IfCond(stmt.cond, fn(stmt.body))
+    if isinstance(stmt, ForEachMap):
+        return ForEachMap(
+            stmt.slot,
+            stmt.entry_var,
+            stmt.value_var,
+            stmt.binds,
+            stmt.filters,
+            fn(stmt.body),
+        )
+    if isinstance(stmt, ForEachRow):
+        return ForEachRow(stmt.rows_var, stmt.params, fn(stmt.body))
+    if isinstance(stmt, Block):
+        return Block(stmt.comments, stmt.targets, fn(stmt.stmts), stmt.sources)
+    return stmt
+
+
+# ---------------------------------------------------------------------------
+# Pass: common-subexpression temps (straight-line, assignment level)
+# ---------------------------------------------------------------------------
+
+_CSE_TYPES = (Prod, Sum, SafeDiv, Lookup, Compare, Neg)
+
+
+def _cse_sequence(
+    stmts: tuple[IRStmt, ...], available: dict[IRExpr, str], rename: dict[str, str]
+) -> tuple[IRStmt, ...]:
+    from repro.ir.nodes import substitute_names
+
+    out: list[IRStmt] = []
+    for stmt in stmts:
+        stmt = rewrite_exprs(stmt, lambda e: substitute_names(e, rename))
+        if (
+            isinstance(stmt, Assign)
+            and isinstance(stmt.value, _CSE_TYPES)
+            and not expr_has_keyat(stmt.value)
+        ):
+            existing = available.get(stmt.value)
+            if existing is not None:
+                rename[stmt.name] = existing
+                continue
+            _drop_renames(rename, {stmt.name})
+            _invalidate_name(available, stmt.name)
+            available[stmt.value] = stmt.name
+        elif isinstance(stmt, (Assign, Accum)):
+            # A kept (re)assignment ends any alias involving the name:
+            # later reads must see this binding, not a stale temp.
+            _drop_renames(rename, {stmt.name})
+            _invalidate_name(available, stmt.name)
+        written = _applied_writes((stmt,))
+        if written:
+            _invalidate_slots(available, written)
+        if isinstance(stmt, (IfCond, ForEachMap, ForEachRow, Block)):
+            inner_killed = assigned_names(stmt_children(stmt))
+            scoped = {
+                expr: name
+                for expr, name in available.items()
+                if not (expr_names(expr) & inner_killed)
+            }
+            stmt = _rebuild_with_body(
+                stmt, lambda body: _cse_sequence(body, dict(scoped), dict(rename))
+            )
+            killed = assigned_names((stmt,))
+            _drop_renames(rename, killed)
+            for name in killed:
+                _invalidate_name(available, name)
+        out.append(stmt)
+    return tuple(out)
+
+
+def _drop_renames(rename: dict[str, str], names) -> None:
+    """Forget aliases whose source or target name was (re)bound."""
+    for key in [k for k, v in rename.items() if k in names or v in names]:
+        del rename[key]
+
+
+def _invalidate_name(available: dict[IRExpr, str], name: str) -> None:
+    for expr in [e for e in available if name in expr_names(e)]:
+        del available[expr]
+    for expr in [e for e, n in available.items() if n == name]:
+        del available[expr]
+
+
+def _invalidate_slots(available: dict[IRExpr, str], slots: frozenset[Slot]) -> None:
+    for expr in [e for e in available if expr_slots(e) & slots]:
+        del available[expr]
+
+
+# ---------------------------------------------------------------------------
+# Pass: loop-invariant hoisting
+# ---------------------------------------------------------------------------
+
+_HOIST_TYPES = (Prod, Sum, SafeDiv, Lookup, Neg)
+
+
+def _hoist_stmts(stmts: tuple[IRStmt, ...], namer) -> tuple[IRStmt, ...]:
+    out: list[IRStmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, (ForEachMap, ForEachRow)):
+            body = _hoist_stmts(stmt_children(stmt), namer)
+            loop = _rebuild_with_body(stmt, lambda _body, b=body: b)
+            prelude, loop = _hoist_from_loop(loop, namer)
+            out.extend(prelude)
+            out.append(loop)
+        elif isinstance(stmt, (IfCond, Block)):
+            out.append(_rebuild_with_body(stmt, lambda body: _hoist_stmts(body, namer)))
+        else:
+            out.append(stmt)
+    return tuple(out)
+
+
+def _hoist_from_loop(loop: IRStmt, namer):
+    """Extract loop-invariant pure subexpressions into temps before the
+    loop.  Invariant: no name bound inside the loop, no lookup of a map
+    the loop body writes (appends excluded — they apply after the loop)."""
+    body = stmt_children(loop)
+    inner = set(assigned_names(body))
+    if isinstance(loop, ForEachMap):
+        inner.add(loop.entry_var)
+        inner.add(loop.value_var)
+        inner.update(name for _, name in loop.binds)
+    else:
+        inner.update(loop.params)
+    written = _applied_writes(body)
+    hoisted: dict[IRExpr, str] = {}
+
+    def invariant(expr: IRExpr) -> bool:
+        if expr_names(expr) & inner:
+            return False
+        if expr_has_keyat(expr):
+            return False
+        return not (expr_slots(expr) & written)
+
+    def extract(expr: IRExpr) -> IRExpr:
+        if isinstance(expr, _HOIST_TYPES) and invariant(expr):
+            temp = hoisted.get(expr)
+            if temp is None:
+                temp = namer.fresh("h")
+                hoisted[expr] = temp
+            return Name(temp)
+        if isinstance(expr, Sum):
+            return Sum(tuple(extract(t) for t in expr.terms))
+        if isinstance(expr, Prod):
+            return Prod(tuple(extract(f) for f in expr.factors))
+        if isinstance(expr, Neg):
+            return Neg(extract(expr.body))
+        if isinstance(expr, SafeDiv):
+            return SafeDiv(extract(expr.left), extract(expr.right))
+        if isinstance(expr, Compare):
+            return Compare(expr.op, extract(expr.left), extract(expr.right))
+        if isinstance(expr, Lookup):
+            return Lookup(expr.slot, tuple(extract(k) for k in expr.keys), expr.default)
+        return expr
+
+    new_body = tuple(_rewrite_exprs_skipping_filters(s, extract) for s in body)
+    if not hoisted:
+        return (), loop
+    prelude = tuple(Assign(name, expr) for expr, name in hoisted.items())
+    return prelude, _rebuild_with_body(loop, lambda _body: new_body)
+
+
+def _rewrite_exprs_skipping_filters(stmt: IRStmt, fn) -> IRStmt:
+    """Like :func:`rewrite_exprs` but leaves loop filters untouched (they
+    must stay index-probe-compatible Name/Const/KeyAt atoms)."""
+    if isinstance(stmt, ForEachMap):
+        return ForEachMap(
+            stmt.slot,
+            stmt.entry_var,
+            stmt.value_var,
+            stmt.binds,
+            stmt.filters,
+            tuple(_rewrite_exprs_skipping_filters(s, fn) for s in stmt.body),
+        )
+    if isinstance(stmt, ForEachRow):
+        return ForEachRow(
+            stmt.rows_var,
+            stmt.params,
+            tuple(_rewrite_exprs_skipping_filters(s, fn) for s in stmt.body),
+        )
+    if isinstance(stmt, IfCond):
+        return IfCond(
+            fn(stmt.cond),
+            tuple(_rewrite_exprs_skipping_filters(s, fn) for s in stmt.body),
+        )
+    if isinstance(stmt, Block):
+        return Block(
+            stmt.comments,
+            stmt.targets,
+            tuple(_rewrite_exprs_skipping_filters(s, fn) for s in stmt.stmts),
+            stmt.sources,
+        )
+    return rewrite_exprs(stmt, fn)
+
+
+# ---------------------------------------------------------------------------
+# Pass: dead key-binding pruning
+# ---------------------------------------------------------------------------
+
+
+def _prune_bindings(stmts: tuple[IRStmt, ...]) -> tuple[IRStmt, ...]:
+    out: list[IRStmt] = []
+    for stmt in stmts:
+        stmt = _rebuild_with_body(stmt, _prune_bindings)
+        if isinstance(stmt, ForEachMap):
+            used = _used_names(stmt.body)
+            kept = tuple((pos, name) for pos, name in stmt.binds if name in used)
+            if kept != stmt.binds:
+                stmt = ForEachMap(
+                    stmt.slot,
+                    stmt.entry_var,
+                    stmt.value_var,
+                    kept,
+                    stmt.filters,
+                    stmt.body,
+                )
+        out.append(stmt)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline
+# ---------------------------------------------------------------------------
+
+
+class _HoistNamer:
+    """Fresh names for hoisted temps, disjoint from existing locals.
+
+    Batch bodies embed already-hoisted per-event blocks, so new temps
+    must avoid every name the body assigns anywhere.
+    """
+
+    def __init__(self, reserved=()) -> None:
+        self._counter = 0
+        self._reserved = set(reserved)
+
+    def fresh(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            name = f"__{prefix}{self._counter}"
+            if name not in self._reserved:
+                self._reserved.add(name)
+                return name
+
+
+def optimize_trigger(
+    trigger_ir: TriggerIR,
+    passes: tuple[str, ...],
+    exact: frozenset[str],
+    dead: frozenset[str],
+) -> TriggerIR:
+    body = trigger_ir.body
+    params = set(trigger_ir.params)
+    if "dead-maps" in passes and dead:
+        body = _drop_dead(body, dead)
+    if "fuse-loops" in passes:
+        body = _fuse_sequence(body, exact, params)
+    for _ in range(2):  # merge-guards and cse enable one another
+        if "merge-guards" in passes:
+            body = _merge_guards(body)
+        if "cse" in passes:
+            body = _cse_sequence(body, {}, {})
+    if "hoist-invariants" in passes:
+        body = _hoist_stmts(body, _HoistNamer(assigned_names(body)))
+    if "prune-bindings" in passes:
+        body = _prune_bindings(body)
+    return TriggerIR(
+        trigger_ir.relation,
+        trigger_ir.sign,
+        trigger_ir.name,
+        trigger_ir.params,
+        body,
+    )
+
+
+def optimize_program(
+    ir: ProgramIR,
+    program: CompiledProgram,
+    passes: tuple[str, ...],
+    batch_only: bool = False,
+) -> ProgramIR:
+    """Run the pass pipeline over every trigger body.
+
+    ``batch_only`` re-runs the pipeline over the batch variants only (they
+    are lowered after the per-event bodies have been optimised).
+    """
+    exact = exact_value_maps(program)
+    dead = dead_map_names(program) if "dead-maps" in passes else frozenset()
+    if not batch_only:
+        ir.triggers = {
+            key: optimize_trigger(trigger_ir, passes, exact, dead)
+            for key, trigger_ir in ir.triggers.items()
+        }
+    ir.batch_triggers = {
+        key: optimize_trigger(trigger_ir, passes, exact, dead)
+        for key, trigger_ir in ir.batch_triggers.items()
+    }
+    ir.passes = passes
+    return ir

@@ -1,0 +1,169 @@
+"""Human-readable rendering of the trigger IR (the ``--dump-ir`` view)."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    AddTo,
+    AppendTo,
+    Assign,
+    Accum,
+    Block,
+    BufferDecl,
+    Clear,
+    Compare,
+    Const,
+    FlushBuffer,
+    ForEachMap,
+    ForEachRow,
+    IfCond,
+    IRExpr,
+    IRStmt,
+    KeyAt,
+    LocalMapDecl,
+    Lookup,
+    MergeInto,
+    Name,
+    Neg,
+    Prod,
+    ProgramIR,
+    SafeDiv,
+    Sum,
+    TriggerIR,
+)
+
+
+def expr_str(expr: IRExpr) -> str:
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Name):
+        return expr.name
+    if isinstance(expr, Sum):
+        return "(" + " + ".join(expr_str(t) for t in expr.terms) + ")"
+    if isinstance(expr, Prod):
+        return " * ".join(_maybe_paren(f) for f in expr.factors)
+    if isinstance(expr, Neg):
+        return f"-{_maybe_paren(expr.body)}"
+    if isinstance(expr, SafeDiv):
+        return f"div0({expr_str(expr.left)}, {expr_str(expr.right)})"
+    if isinstance(expr, Compare):
+        return f"{expr_str(expr.left)} {expr.op} {expr_str(expr.right)}"
+    if isinstance(expr, Lookup):
+        keys = ", ".join(expr_str(k) for k in expr.keys)
+        return f"lookup({expr.slot!r}[{keys}], {expr.default})"
+    if isinstance(expr, KeyAt):
+        return f"key[{expr.pos}]"
+    return repr(expr)
+
+
+def _maybe_paren(expr: IRExpr) -> str:
+    text = expr_str(expr)
+    if isinstance(expr, (Sum, Compare)):
+        return text if text.startswith("(") else f"({text})"
+    return text
+
+
+def _key_str(keys) -> str:
+    return "[" + ", ".join(expr_str(k) for k in keys) + "]"
+
+
+def stmt_lines(stmt: IRStmt, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Block):
+        lines = [f"{pad}; {comment}" for comment in stmt.comments]
+        for inner in stmt.stmts:
+            lines.extend(stmt_lines(inner, indent))
+        return lines
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.name} := {expr_str(stmt.value)}"]
+    if isinstance(stmt, Accum):
+        return [f"{pad}{stmt.name} += {expr_str(stmt.value)}"]
+    if isinstance(stmt, IfCond):
+        lines = [f"{pad}if {expr_str(stmt.cond)}:"]
+        for inner in stmt.body:
+            lines.extend(stmt_lines(inner, indent + 1))
+        return lines
+    if isinstance(stmt, ForEachMap):
+        binds = ", ".join(f"{name}@{pos}" for pos, name in stmt.binds)
+        filters = " ".join(f"[{pos}]=={expr_str(expr)}" for pos, expr in stmt.filters)
+        head = f"{pad}foreach ({binds or '_'}; {stmt.value_var}) in {stmt.slot!r}"
+        if filters:
+            head += f" where {filters}"
+        lines = [head + ":"]
+        for inner in stmt.body:
+            lines.extend(stmt_lines(inner, indent + 1))
+        return lines
+    if isinstance(stmt, ForEachRow):
+        lines = [f"{pad}foreach row ({', '.join(stmt.params)}) in {stmt.rows_var}:"]
+        for inner in stmt.body:
+            lines.extend(stmt_lines(inner, indent + 1))
+        return lines
+    if isinstance(stmt, AddTo):
+        op = "+=" if stmt.evict else "+=(keep0)"
+        return [f"{pad}{stmt.slot!r}{_key_str(stmt.keys)} {op} {expr_str(stmt.value)}"]
+    if isinstance(stmt, AppendTo):
+        return [
+            f"{pad}append {stmt.buffer} <- ({_key_str(stmt.keys)}, "
+            f"{expr_str(stmt.value)})"
+        ]
+    if isinstance(stmt, BufferDecl):
+        return [f"{pad}buffer {stmt.name}"]
+    if isinstance(stmt, FlushBuffer):
+        return [f"{pad}flush {stmt.name} -> {stmt.target!r}"]
+    if isinstance(stmt, LocalMapDecl):
+        return [f"{pad}localmap {stmt.name}"]
+    if isinstance(stmt, MergeInto):
+        return [f"{pad}merge {stmt.source!r} -> {stmt.target!r}"]
+    if isinstance(stmt, Clear):
+        return [f"{pad}clear {stmt.target!r}"]
+    return [f"{pad}{stmt!r}"]
+
+
+def trigger_str(trigger_ir: TriggerIR) -> str:
+    head = f"trigger {trigger_ir.name}({', '.join(trigger_ir.params)}):"
+    lines = [head]
+    if not trigger_ir.body:
+        lines.append("  pass")
+    for stmt in trigger_ir.body:
+        lines.extend(stmt_lines(stmt, 1))
+    return "\n".join(lines)
+
+
+def program_str(ir: ProgramIR) -> str:
+    """The full IR dump: map declarations, passes, every trigger body."""
+    lines = ["== IR maps =="]
+    for decl in ir.maps.values():
+        role = f" ({decl.role})" if decl.role != "derived" else ""
+        lines.append(f"{decl.name}[{','.join(decl.keys)}]{role} := {decl.defn}")
+    lines.append("")
+    lines.append(
+        "== IR passes ==\n" + (", ".join(ir.passes) if ir.passes else "(none)")
+    )
+    for key in sorted(ir.triggers, key=lambda k: (k[0], -k[1])):
+        lines.append("")
+        lines.append(trigger_str(ir.triggers[key]))
+    for key in sorted(ir.batch_triggers, key=lambda k: (k[0], -k[1])):
+        lines.append("")
+        lines.append(trigger_str(ir.batch_triggers[key]))
+    return "\n".join(lines)
+
+
+def ir_stats(ir: ProgramIR) -> dict[str, int]:
+    """Loop/statement counts for the compile trace summary."""
+    from repro.ir.nodes import walk_stmts
+
+    loops = blocks = hoisted = 0
+    for trigger_ir in ir.triggers.values():
+        for stmt in walk_stmts(trigger_ir.body):
+            if isinstance(stmt, ForEachMap):
+                loops += 1
+            elif isinstance(stmt, Block):
+                blocks += 1
+            elif isinstance(stmt, Assign) and stmt.name.startswith("__h"):
+                hoisted += 1
+    return {
+        "maps": len(ir.maps),
+        "triggers": len(ir.triggers),
+        "blocks": blocks,
+        "loops": loops,
+        "hoisted_temps": hoisted,
+    }

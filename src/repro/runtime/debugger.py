@@ -1,9 +1,10 @@
 """Step-tracing debugger for delta processing (the paper's Figure 4 tool).
 
 Wraps an engine so each event can be stepped through, printing (or
-collecting) the per-statement map changes.  Implemented over the interpreted
-executor, which exposes statement granularity — the generated compiled code
-is intentionally opaque straight-line code.
+collecting) the per-statement map changes.  Implemented over the trigger
+IR walked *unoptimised*, which preserves one IR block per compiled
+statement — the generated compiled code (and the fused/hoisted optimised
+IR) is intentionally opaque straight-line code.
 """
 
 from __future__ import annotations
@@ -12,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.compiler.program import CompiledProgram, Statement
-from repro.runtime.engine import InterpretedExecutor, _apply_updates
+from repro.ir.interp import run_trigger_collect
+from repro.ir.lower import lower_program
 from repro.runtime.events import StreamEvent
 
 
@@ -58,27 +60,22 @@ class Debugger:
     ) -> None:
         self.program = program
         self.maps: dict[str, dict] = {name: {} for name in program.maps}
-        self._executor = InterpretedExecutor(program)
+        # Unoptimised IR: one block per compiled statement, so traces keep
+        # statement granularity.
+        self._ir = lower_program(program, optimize=False)
         self.history: list[EventTrace] = []
         self.sink = sink
 
     def step(self, event: StreamEvent) -> EventTrace:
         """Process one event, returning (and recording) its trace."""
-        trigger = self.program.triggers.get((event.relation, event.sign))
+        trigger_ir = self._ir.triggers.get((event.relation, event.sign))
         trace = EventTrace(event=event)
-        if trigger is not None:
-            env = dict(zip(trigger.params, event.values))
-            buffered = self._executor._buffered[(trigger.relation, trigger.sign)]
-            pending: list[tuple[str, tuple, object]] = []
-            for statement in trigger.statements:
-                updates = self._executor._statement_updates(statement, env, self.maps)
+        if trigger_ir is not None:
+            for block, updates in run_trigger_collect(
+                trigger_ir, event.values, self.maps
+            ):
+                statement = block.sources[0] if block.sources else None
                 trace.statements.append(StatementTrace(statement, updates))
-                if buffered:
-                    pending.extend(updates)
-                else:
-                    _apply_updates(self.maps, updates)
-            if buffered:
-                _apply_updates(self.maps, pending)
         self.history.append(trace)
         if self.sink is not None:
             self.sink(repr(trace))

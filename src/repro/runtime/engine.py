@@ -6,9 +6,10 @@ trigger executors:
 * ``mode="compiled"`` — triggers run as generated Python functions
   (:mod:`repro.codegen.pygen`), the reproduction of the paper's compiled
   C++ executors;
-* ``mode="interpreted"`` — triggers are walked statement-by-statement with
-  the calculus evaluator, retaining exactly the interpretation overhead the
-  paper's compilation eliminates (used as a baseline/ablation).
+* ``mode="interpreted"`` — triggers are walked block-by-block over the
+  lowered trigger IR (:mod:`repro.ir`), retaining exactly the
+  interpretation overhead the paper's compilation eliminates (used as a
+  baseline/ablation).
 
 The engine is *embeddable* (construct it in-process and call ``insert`` /
 ``delete``) and also serves standalone use via
@@ -43,14 +44,8 @@ from types import MappingProxyType
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.errors import EventError, UnknownStreamError
-from repro.algebra.eval import eval_expr, eval_scalar
 from repro.compiler.partition import PartitionSpec, analyze_partitioning
-from repro.compiler.program import (
-    CompiledProgram,
-    Statement,
-    Trigger,
-    needs_buffering,
-)
+from repro.compiler.program import CompiledProgram, Trigger
 from repro.runtime.events import StreamEvent, batches, partition_rows
 
 #: Default rows-per-batch cap for ``process_stream``: large enough to
@@ -58,24 +53,26 @@ from repro.runtime.events import StreamEvent, batches, partition_rows
 #: stream stays O(batch) in memory instead of buffering the whole run.
 DEFAULT_BATCH_SIZE = 1024
 from repro.runtime.views import query_results, result_rows_to_dicts
+from repro.ir.interp import run_trigger as _run_trigger
 
 
 class InterpretedExecutor:
-    """Executes trigger statements by walking them with the evaluator.
+    """Executes triggers by walking the lowered IR directly.
 
     This is deliberately an *interpreter*: every event re-traverses the
-    statement expressions — the overhead that recursive compilation plus
-    code generation removes.
+    IR nodes — the overhead that code generation removes.  It shares the
+    loop-level lowering (and optimisation pipeline) with the compiled
+    back end, so its semantics are the generated code's by construction.
     """
 
     mode = "interpreted"
 
-    def __init__(self, program: CompiledProgram) -> None:
+    def __init__(self, program: CompiledProgram, optimize: bool = True) -> None:
+        from repro.ir.lower import lower_program
+
         self.program = program
-        self._buffered = {
-            key: needs_buffering(trigger.statements)
-            for key, trigger in program.triggers.items()
-        }
+        self.optimize = optimize
+        self._ir = lower_program(program, optimize=optimize)
 
     def execute(
         self,
@@ -84,19 +81,12 @@ class InterpretedExecutor:
         maps: dict[str, dict],
         profiler=None,
     ) -> None:
-        env = dict(zip(trigger.params, values))
-        buffered = self._buffered[(trigger.relation, trigger.sign)]
-        pending: list[tuple[str, tuple, object]] = []
-        for statement in trigger.statements:
-            updates = self._statement_updates(statement, env, maps)
-            if profiler is not None:
-                profiler.record_statement(statement.target, len(updates))
-            if buffered:
-                pending.extend(updates)
-            else:
-                _apply_updates(maps, updates)
-        if buffered:
-            _apply_updates(maps, pending)
+        _run_trigger(
+            self._ir.triggers[(trigger.relation, trigger.sign)],
+            values,
+            maps,
+            profiler,
+        )
 
     def execute_batch(
         self,
@@ -115,29 +105,6 @@ class InterpretedExecutor:
         for values in rows:
             self.execute(trigger, values, maps, profiler)
 
-    def _statement_updates(
-        self, statement: Statement, env: dict, maps: dict[str, dict]
-    ) -> list[tuple[str, tuple, object]]:
-        cols, rows = eval_expr(statement.rhs, env, maps)
-        updates: list[tuple[str, tuple, object]] = []
-        for key_values, value in rows.items():
-            row_env = {**env, **dict(zip(cols, key_values))}
-            key = tuple(eval_scalar(arg, row_env, maps) for arg in statement.args)
-            updates.append((statement.target, key, value))
-        return updates
-
-
-def _apply_updates(
-    maps: dict[str, dict], updates: list[tuple[str, tuple, object]]
-) -> None:
-    for target, key, value in updates:
-        contents = maps[target]
-        updated = contents.get(key, 0) + value
-        if updated == 0:
-            contents.pop(key, None)
-        else:
-            contents[key] = updated
-
 
 class DeltaEngine:
     """A standing-query engine over a compiled delta program."""
@@ -149,25 +116,29 @@ class DeltaEngine:
         profiler=None,
         strict: bool = False,
         use_indexes: bool = True,
+        optimize: bool = True,
     ) -> None:
         """``strict=True`` raises on events for relations no standing query
         reads; the default silently skips them (a feed usually carries more
         streams than one query subscribes to).  ``use_indexes=False``
         disables secondary-index generation in compiled mode (the
-        access-pattern ablation)."""
+        access-pattern ablation); ``optimize=False`` disables the IR
+        optimisation pipeline in both modes (the loop-optimisation
+        ablation, also the bench harness's ``--no-opt``)."""
         self.program = program
         self.maps: dict[str, dict] = {name: {} for name in program.maps}
         self.profiler = profiler
         self.events_processed = 0
         self.use_indexes = use_indexes
+        self.optimize = optimize
         if mode == "compiled":
             from repro.codegen.pygen import CompiledExecutor
 
             self._executor = CompiledExecutor(
-                program, self.maps, use_indexes=use_indexes
+                program, self.maps, use_indexes=use_indexes, optimize=optimize
             )
         elif mode == "interpreted":
-            self._executor = InterpretedExecutor(program)
+            self._executor = InterpretedExecutor(program, optimize=optimize)
         else:
             raise EventError(f"unknown engine mode {mode!r}")
         self.mode = mode
@@ -190,6 +161,7 @@ class DeltaEngine:
             profiler=None,
             strict=self.strict,
             use_indexes=self.use_indexes,
+            optimize=self.optimize,
         )
         clone.maps.update(
             {name: dict(contents) for name, contents in self.maps.items()}
@@ -368,14 +340,17 @@ class DeltaEngine:
 # ---------------------------------------------------------------------------
 
 
-def _shard_worker_main(conn, program, mode, use_indexes) -> None:
+def _shard_worker_main(conn, program, mode, use_indexes, optimize) -> None:
     """One shard worker: a private :class:`DeltaEngine` fed over a pipe.
 
     Batches apply fire-and-forget; the first trigger failure is remembered
     and surfaced on the next ``sync``/``collect`` round-trip (subsequent
     batches are dropped, as the shard state is no longer trustworthy).
     """
-    engine = DeltaEngine(program, mode=mode, strict=False, use_indexes=use_indexes)
+    engine = DeltaEngine(
+        program, mode=mode, strict=False, use_indexes=use_indexes,
+        optimize=optimize,
+    )
     failure = None
     while True:
         try:
@@ -407,11 +382,11 @@ def _shard_worker_main(conn, program, mode, use_indexes) -> None:
 class _ProcessLane:
     """Coordinator-side handle of one forked shard worker."""
 
-    def __init__(self, ctx, program, mode, use_indexes) -> None:
+    def __init__(self, ctx, program, mode, use_indexes, optimize) -> None:
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_shard_worker_main,
-            args=(child, program, mode, use_indexes),
+            args=(child, program, mode, use_indexes, optimize),
             daemon=True,
         )
         self._proc.start()
@@ -543,6 +518,7 @@ class ShardedEngine:
         parallel: bool = False,
         strict: bool = False,
         use_indexes: bool = True,
+        optimize: bool = True,
         spec: Optional[PartitionSpec] = None,
     ) -> None:
         if shards < 1:
@@ -553,11 +529,13 @@ class ShardedEngine:
         self.mode = mode
         self.strict = strict
         self.use_indexes = use_indexes
+        self.optimize = optimize
         self.events_skipped = 0
         self._relations = {rel for rel, _ in program.triggers}
         self._stream_started = False
         self._serial = DeltaEngine(
-            program, mode=mode, strict=False, use_indexes=use_indexes
+            program, mode=mode, strict=False, use_indexes=use_indexes,
+            optimize=optimize,
         )
         self.parallel = False
         self._closed = False
@@ -567,7 +545,7 @@ class ShardedEngine:
                 ctx = self._fork_context()
                 if ctx is not None:
                     self._lanes = [
-                        _ProcessLane(ctx, program, mode, use_indexes)
+                        _ProcessLane(ctx, program, mode, use_indexes, optimize)
                         for _ in range(shards)
                     ]
                     self.parallel = True
@@ -579,6 +557,7 @@ class ShardedEngine:
                             mode=mode,
                             strict=False,
                             use_indexes=use_indexes,
+                            optimize=optimize,
                         )
                     )
                     for _ in range(shards)

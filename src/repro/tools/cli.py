@@ -4,13 +4,15 @@ The paper's runtime "may be used as a standalone query processor accepting
 input over a network interface or archived stream".  The CLI covers the
 archived-stream path:
 
-* ``compile``  — show the compilation trace / generated code for a query;
+* ``compile``  — show the compilation trace / IR / generated code;
 * ``run``      — maintain queries over a CSV event stream, print results;
 * ``bench``    — quick throughput measurement on a built-in workload.
 
 Usage examples::
 
     python -m repro.tools.cli compile --ddl schema.sql --query "SELECT ..."
+    python -m repro.tools.cli compile --schema "CREATE ..." \
+        --query "SELECT ..." --dump-ir
     python -m repro.tools.cli run --ddl schema.sql --query "SELECT ..." \
         --stream events.csv --every 1000
     python -m repro.tools.cli bench --workload finance --events 20000
@@ -20,7 +22,9 @@ Usage examples::
 ``--shards N`` (run/bench) processes the stream on a
 :class:`~repro.runtime.engine.ShardedEngine`: batches are hash-routed by
 the compiler's partition columns to N parallel lanes, with a serial
-fallback when the program is not partitionable.
+fallback when the program is not partitionable.  ``--dump-ir`` prints the
+typed imperative IR all back ends share (see :mod:`repro.ir`); ``--no-opt``
+disables its optimisation pipeline (compile, run and bench).
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ from repro.compiler import analyze_partitioning, compile_sql
 from repro.runtime import DeltaEngine, ShardedEngine
 from repro.runtime.sources import csv_source
 from repro.sql.catalog import Catalog
-from repro.tools.trace import compilation_table, recursion_summary
+from repro.tools.trace import compilation_table, ir_summary, recursion_summary
 
 
 def _make_engine(program, args):
@@ -45,11 +49,13 @@ def _make_engine(program, args):
     for hash-partitioned parallel lanes (worker processes where ``fork``
     is available; non-partitionable programs fall back to serial)."""
     shards = getattr(args, "shards", 1) or 1
+    optimize = not getattr(args, "no_opt", False)
     if shards > 1:
         return ShardedEngine(
-            program, shards=shards, mode=args.mode, parallel=True
+            program, shards=shards, mode=args.mode, parallel=True,
+            optimize=optimize,
         )
-    return DeltaEngine(program, mode=args.mode)
+    return DeltaEngine(program, mode=args.mode, optimize=optimize)
 
 
 def _load_catalog(args) -> Catalog:
@@ -63,16 +69,23 @@ def _load_catalog(args) -> Catalog:
 def cmd_compile(args) -> int:
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
+    optimize = not args.no_opt
     print(program.describe())
     print(analyze_partitioning(program).describe())
+    print(ir_summary(program, optimize=optimize))
     print()
     print("== Figure 2 trace ==\n")
     print(compilation_table(program))
     print("\nmaps per recursion level:", recursion_summary(program))
+    if args.dump_ir:
+        from repro.ir import lower_program, program_str
+
+        print("\n== trigger IR ==\n")
+        print(program_str(lower_program(program, optimize=optimize)))
     if args.emit == "python":
-        print("\n" + generate_module(program))
+        print("\n" + generate_module(program, optimize=optimize))
     elif args.emit == "cpp":
-        print("\n" + generate_cpp(program))
+        print("\n" + generate_cpp(program, optimize=optimize))
     return 0
 
 
@@ -176,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit", choices=["none", "python", "cpp"], default="none",
         help="also print generated code",
     )
+    p_compile.add_argument(
+        "--dump-ir", action="store_true",
+        help="print the typed imperative trigger IR",
+    )
+    p_compile.add_argument(
+        "--no-opt", action="store_true",
+        help="disable the IR optimisation pipeline",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_run = sub.add_parser("run", help="process an archived CSV stream")
@@ -188,6 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--shards", type=int, default=1,
                        help="hash-partitioned parallel shard lanes "
                        "(1 = single engine)")
+    p_run.add_argument("--no-opt", action="store_true",
+                       help="disable the IR optimisation pipeline")
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser("bench", help="built-in workload throughput")
@@ -203,6 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--shards", type=int, default=1,
                          help="hash-partitioned parallel shard lanes "
                          "(1 = single engine)")
+    p_bench.add_argument("--no-opt", action="store_true",
+                         help="disable the IR optimisation pipeline")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

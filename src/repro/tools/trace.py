@@ -8,7 +8,7 @@ the same table from a compiled program.
 
 from __future__ import annotations
 
-from repro.compiler.program import CompiledProgram, Statement
+from repro.compiler.program import CompiledProgram
 
 
 def _sign_symbol(sign: int) -> str:
@@ -72,3 +72,17 @@ def recursion_summary(program: CompiledProgram) -> dict[int, int]:
     for map_def in program.maps.values():
         summary[map_def.level] = summary.get(map_def.level, 0) + 1
     return dict(sorted(summary.items()))
+
+
+def ir_summary(program: CompiledProgram, optimize: bool = True) -> str:
+    """One-line trace of the imperative lowering every back end shares."""
+    from repro.ir import ir_stats, lower_program
+
+    ir = lower_program(program, optimize=optimize)
+    stats = ir_stats(ir)
+    passes = ", ".join(ir.passes) if ir.passes else "disabled"
+    return (
+        f"IR: {stats['blocks']} statement blocks, {stats['loops']} map loops, "
+        f"{stats['hoisted_temps']} hoisted temps across {stats['triggers']} "
+        f"triggers (passes: {passes})"
+    )

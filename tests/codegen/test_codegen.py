@@ -145,9 +145,12 @@ class TestCppGeneration:
         assert "void on_delete_t(" in source
 
     def test_keyed_update_shape(self, program):
+        """Updates go through the zero-evicting _apply helper, so the C++
+        rendering shares the Python back end's eviction semantics."""
         source = generate_cpp(program)
         root = program.slot_maps["q"][0]
-        assert f"{root}[{{}}] +=" in source
+        assert f"_apply({root}, std::tuple<>{{}}," in source
+        assert "if (c == 0) m.erase(k); else m[k] = c;" in source
 
     def test_string_literals_escaped(self, catalog):
         catalog2 = Catalog.from_script(

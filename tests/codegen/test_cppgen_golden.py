@@ -1,0 +1,66 @@
+"""Golden-file tests pinning the C++ emission on the finance queries.
+
+The C++ back end is a demonstration artifact that is never executed here,
+so without these snapshots its regressions would go unnoticed.  The
+goldens pin the full rendered text — map declarations, helper prelude,
+handler bodies, and the IR optimisations (fused loops, hoisted
+invariants) visible in them.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/codegen/test_cppgen_golden.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen.cppgen import generate_cpp
+from repro.compiler import compile_sql
+from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _render(name: str) -> str:
+    program = compile_sql(FINANCE_QUERIES[name], finance_catalog(), name=name)
+    return generate_cpp(program)
+
+
+@pytest.mark.parametrize("name", sorted(FINANCE_QUERIES))
+def test_cpp_matches_golden(name):
+    golden = (GOLDEN_DIR / f"{name}.cpp").read_text()
+    rendered = _render(name)
+    assert rendered == golden, (
+        f"cppgen output for {name!r} changed; if intentional, regenerate "
+        "with: PYTHONPATH=src python tests/codegen/test_cppgen_golden.py"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FINANCE_QUERIES))
+def test_cpp_semantic_shape(name):
+    """Faithfulness invariants, independent of the exact golden text."""
+    rendered = _render(name)
+    assert "if (c == 0) m.erase(k); else m[k] = c;" in rendered  # eviction
+    assert "it == m.end() ? 0.0 : it->second" in rendered  # default lookup
+    assert rendered.count("{") == rendered.count("}")
+
+
+def test_vwap_shows_ir_optimisations():
+    rendered = _render("vwap")
+    # One fused scan of the base-bids map per trigger (insert + delete)
+    # instead of two each...
+    assert rendered.count("for (const auto& __e1 : m1_base_bids)") == 2
+    # ...each with the 0.25 * total threshold hoisted out of it.
+    assert rendered.count("auto __h1 =") == 2
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(FINANCE_QUERIES):
+        (GOLDEN_DIR / f"{name}.cpp").write_text(_render(name))
+        print(f"regenerated golden/{name}.cpp")
+
+
+if __name__ == "__main__":
+    main()

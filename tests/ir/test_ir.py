@@ -1,0 +1,213 @@
+"""Unit tests for the imperative trigger IR: lowering, passes, printing."""
+
+import pytest
+
+from repro.compiler import compile_sql
+from repro.ir import (
+    DEFAULT_PASSES,
+    dead_map_names,
+    exact_value_maps,
+    lower_program,
+    program_str,
+    trigger_str,
+)
+from repro.ir.nodes import (
+    Assign,
+    Block,
+    Compare,
+    Const,
+    ForEachMap,
+    ForEachRow,
+    IfCond,
+    Lookup,
+    Name,
+    walk_stmts,
+)
+from repro.sql.catalog import Catalog
+
+DDL = """
+CREATE STREAM R (A int, B int);
+CREATE STREAM S (B int, C int);
+CREATE STREAM T (C int, D int);
+CREATE STREAM bids (t INT, id INT, broker_id INT, price INT, volume INT);
+CREATE STREAM fbids (t INT, id INT, broker_id INT, price FLOAT, volume INT);
+"""
+PAPER_SQL = "SELECT sum(r.A * t.D) FROM R r, S s, T t WHERE r.B = s.B AND s.C = t.C"
+VWAP_SQL = (
+    "SELECT sum(b.price * b.volume) FROM bids b "
+    "WHERE b.volume > 0.25 * (SELECT sum(b1.volume) FROM bids b1)"
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog.from_script(DDL)
+
+
+def _loops(trigger_ir):
+    return [s for s in walk_stmts(trigger_ir.body) if isinstance(s, ForEachMap)]
+
+
+class TestLowering:
+    def test_every_trigger_lowered_with_batch_variant(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        ir = lower_program(program, optimize=False)
+        assert set(ir.triggers) == set(program.triggers)
+        assert set(ir.batch_triggers) == set(program.triggers)
+        for key, trigger in program.triggers.items():
+            assert ir.triggers[key].name == trigger.name
+            assert ir.batch_triggers[key].name == f"{trigger.name}_batch"
+
+    def test_unoptimised_blocks_map_one_to_one_to_statements(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        ir = lower_program(program, optimize=False)
+        for key, trigger in program.triggers.items():
+            blocks = [s for s in ir.triggers[key].body if isinstance(s, Block)]
+            assert [b.sources[0] for b in blocks] == trigger.statements
+
+    def test_straight_line_trigger_has_no_loops(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        ir = lower_program(program)
+        assert not _loops(ir.triggers[("S", 1)])
+
+    def test_foreach_statement_lowers_to_loop(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        ir = lower_program(program)
+        assert _loops(ir.triggers[("T", 1)])
+
+    def test_batch_variant_wraps_rows_loop(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        ir = lower_program(program)
+        for trigger_ir in ir.batch_triggers.values():
+            rows_loops = [
+                s
+                for s in walk_stmts(trigger_ir.body)
+                if isinstance(s, ForEachRow)
+            ]
+            assert len(rows_loops) == 1
+            assert rows_loops[0].rows_var == "__rows"
+
+    def test_ir_is_cached_per_configuration(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        assert lower_program(program) is lower_program(program)
+        assert lower_program(program) is not lower_program(program, optimize=False)
+
+
+class TestOptimisationPasses:
+    def test_vwap_loops_fuse_into_one(self, catalog):
+        program = compile_sql(VWAP_SQL, catalog)
+        plain = lower_program(program, optimize=False)
+        optimised = lower_program(program)
+        assert len(_loops(plain.triggers[("bids", 1)])) == 2
+        assert len(_loops(optimised.triggers[("bids", 1)])) == 1
+
+    def test_vwap_threshold_hoisted_out_of_loop(self, catalog):
+        program = compile_sql(VWAP_SQL, catalog)
+        ir = lower_program(program)
+        (loop,) = _loops(ir.triggers[("bids", 1)])
+        # The fused loop's guard compares against a hoisted temp, not an
+        # inline lookup of the total-volume map.
+        guards = [s for s in walk_stmts(loop.body) if isinstance(s, IfCond)]
+        assert guards
+        assert isinstance(guards[0].cond, Compare)
+        assert isinstance(guards[0].cond.right, Name)
+        # ... and the temp is assigned before the loop from the lookup.
+        block = next(
+            s
+            for s in ir.triggers[("bids", 1)].body
+            if isinstance(s, Block) and loop in s.stmts
+        )
+        hoists = [s for s in block.stmts if isinstance(s, Assign)]
+        assert any("m2_bids" in repr(h.value) for h in hoists)
+
+    def test_vwap_dead_bindings_pruned(self, catalog):
+        program = compile_sql(VWAP_SQL, catalog)
+        ir = lower_program(program)
+        (loop,) = _loops(ir.triggers[("bids", 1)])
+        # Only price (pos 3) and volume (pos 4) feed the body.
+        assert [pos for pos, _ in loop.binds] == [3, 4]
+
+    def test_float_relations_block_reordering_fusion(self, catalog):
+        float_vwap = VWAP_SQL.replace("FROM bids", "FROM fbids")
+        program = compile_sql(float_vwap, catalog)
+        assert "fbids" in program.float_relations
+        ir = lower_program(program)
+        # Moving the second scan past intermediate writers would reorder
+        # float additions, so both loops must survive.
+        assert len(_loops(ir.triggers[("fbids", 1)])) == 2
+
+    def test_exact_value_maps_classification(self, catalog):
+        program = compile_sql(VWAP_SQL, catalog)
+        exact = exact_value_maps(program)
+        assert set(program.maps) == set(exact)
+        float_program = compile_sql(
+            VWAP_SQL.replace("FROM bids", "FROM fbids"), catalog
+        )
+        assert not exact_value_maps(float_program)
+
+    def test_no_dead_maps_in_bundled_queries(self, catalog):
+        from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+        fin_cat = finance_catalog()
+        for name, sql in FINANCE_QUERIES.items():
+            assert not dead_map_names(compile_sql(sql, fin_cat, name=name))
+
+    def test_pass_list_recorded(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        assert lower_program(program).passes == DEFAULT_PASSES
+        assert lower_program(program, optimize=False).passes == ()
+
+    def test_cse_rename_dies_on_reassignment(self):
+        """A kept reassignment of a CSE-dropped name must end the alias:
+        later reads must see the new binding, not the stale temp."""
+        from repro.ir.nodes import Accum, Prod, Sum
+        from repro.ir.optimize import _cse_sequence
+
+        p, q = Name("p"), Name("q")
+        stmts = (
+            Assign("a", Prod((p, q))),
+            Assign("v", Prod((p, q))),  # CSE hit: dropped, v -> a
+            Accum("acc", Name("v")),  # becomes acc += a
+            Assign("v", Sum((p, Const(1)))),  # kept reassignment
+            Accum("acc", Name("v")),  # must read v, NOT a
+        )
+        out = _cse_sequence(stmts, {}, {})
+        assert out[1] == Accum("acc", Name("a"))
+        assert out[-1] == Accum("acc", Name("v"))
+
+    def test_cse_shares_fused_product(self, catalog):
+        """After fusion + guard merge, both pending appends read the same
+        temp (the per-entry product is computed once)."""
+        program = compile_sql(VWAP_SQL, catalog)
+        ir = lower_program(program)
+        (loop,) = _loops(ir.triggers[("bids", 1)])
+        from repro.ir.nodes import AppendTo
+
+        appends = [
+            s for s in walk_stmts(loop.body) if isinstance(s, AppendTo)
+        ]
+        assert len(appends) == 2
+        assert appends[0].value == appends[1].value
+
+
+class TestPrettyPrinter:
+    def test_program_str_sections(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        text = program_str(lower_program(program))
+        assert "== IR maps ==" in text
+        assert "== IR passes ==" in text
+        assert "trigger on_insert_r(" in text
+        assert "trigger on_insert_r_batch(" in text
+
+    def test_trigger_str_shows_loops_and_updates(self, catalog):
+        program = compile_sql(PAPER_SQL, catalog)
+        ir = lower_program(program)
+        text = trigger_str(ir.triggers[("T", 1)])
+        assert "foreach (" in text
+        assert "+=" in text
+
+    def test_lookup_default_rendered(self):
+        from repro.ir.nodes import Slot
+        from repro.ir.pretty import expr_str
+
+        assert expr_str(Lookup(Slot("m"), (Const(3),))) == "lookup(m[3], 0)"

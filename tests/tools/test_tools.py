@@ -4,7 +4,12 @@ import pytest
 
 from repro.compiler import compile_sql
 from repro.sql.catalog import Catalog
-from repro.tools.trace import compilation_rows, compilation_table, recursion_summary
+from repro.tools.trace import (
+    compilation_rows,
+    compilation_table,
+    ir_summary,
+    recursion_summary,
+)
 from repro.tools.cli import build_parser, main as cli_main
 
 DDL = """
@@ -52,6 +57,13 @@ class TestTrace:
         assert summary[0] == 1  # the root map
         assert sum(summary.values()) == len(program.maps)
 
+    def test_ir_summary_line(self, program):
+        line = ir_summary(program)
+        assert line.startswith("IR: ")
+        assert "map loops" in line
+        assert "passes:" in line
+        assert "disabled" in ir_summary(program, optimize=False)
+
 
 class TestCLI:
     def test_parser_requires_command(self):
@@ -72,6 +84,34 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Figure 2 trace" in out
         assert "maps per recursion level" in out
+        assert "IR: " in out  # the IR lowering is part of the trace
+
+    def test_compile_dump_ir(self, capsys):
+        rc = cli_main(
+            ["compile", "--schema", DDL, "--query", PAPER_SQL, "--dump-ir"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== trigger IR ==" in out
+        assert "trigger on_insert_r(" in out
+        assert "trigger on_insert_r_batch(" in out
+        assert "foreach (" in out  # the T-side foreach survives lowering
+
+    def test_compile_dump_ir_no_opt(self, capsys):
+        rc = cli_main(
+            [
+                "compile",
+                "--schema",
+                DDL,
+                "--query",
+                PAPER_SQL,
+                "--dump-ir",
+                "--no-opt",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== IR passes ==\n(none)" in out
 
     def test_compile_emit_python(self, capsys):
         rc = cli_main(
@@ -101,9 +141,68 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "(35,)" in out  # 5 * 7
 
+    def test_run_command_sharded(self, tmp_path, capsys):
+        """--shards routes the stream through a ShardedEngine and still
+        prints the exact final result."""
+        stream = tmp_path / "events.csv"
+        stream.write_text(
+            "op,relation,values...\n"
+            "+,R,2,10\n+,S,10,100\n+,T,100,7\n-,R,2,10\n+,R,5,10\n"
+        )
+        rc = cli_main(
+            [
+                "run",
+                "--schema",
+                DDL,
+                "--query",
+                PAPER_SQL,
+                "--stream",
+                str(stream),
+                "--shards",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(35,)" in out  # 5 * 7, identical to the single-engine run
+
+    def test_run_command_no_opt(self, tmp_path, capsys):
+        stream = tmp_path / "events.csv"
+        stream.write_text("op,relation,values...\n+,R,2,10\n")
+        rc = cli_main(
+            [
+                "run",
+                "--schema",
+                DDL,
+                "--query",
+                PAPER_SQL,
+                "--stream",
+                str(stream),
+                "--no-opt",
+            ]
+        )
+        assert rc == 0
+        assert "final result" in capsys.readouterr().out
+
     def test_bench_command(self, capsys):
         rc = cli_main(
             ["bench", "--workload", "finance", "--query", "psp", "--events", "2000"]
+        )
+        assert rc == 0
+        assert "events/s" in capsys.readouterr().out
+
+    def test_bench_command_no_opt(self, capsys):
+        rc = cli_main(
+            [
+                "bench",
+                "--workload",
+                "finance",
+                "--query",
+                "psp",
+                "--events",
+                "2000",
+                "--no-opt",
+            ]
         )
         assert rc == 0
         assert "events/s" in capsys.readouterr().out
