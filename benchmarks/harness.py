@@ -55,9 +55,19 @@ class SteadyState:
         return len(self.slice_events)
 
     def run_slice_batched(self, engine, batch_size: Optional[int]) -> int:
-        """The same slice delivered as same-``(relation, sign)`` batches."""
-        for batch in self.slice_batches(batch_size):
-            engine.process_batch(batch.relation, batch.sign, batch.rows)
+        """The same slice delivered as same-``(relation, sign)`` batches.
+
+        Engines exposing the columnar entry point receive the pre-grouped
+        batch's column lists directly (no row materialisation); baselines
+        with only a row API get the tuple view.
+        """
+        columnar = getattr(engine, "process_batch_columns", None)
+        if columnar is not None:
+            for batch in self.slice_batches(batch_size):
+                columnar(batch.relation, batch.sign, batch.columns)
+        else:
+            for batch in self.slice_batches(batch_size):
+                engine.process_batch(batch.relation, batch.sign, batch.rows)
         return len(self.slice_events)
 
     def slice_batches(self, batch_size: Optional[int]):

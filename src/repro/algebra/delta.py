@@ -183,6 +183,66 @@ def _product_delta(factors: tuple[Expr, ...], event: Event) -> Expr:
     return add(*terms)
 
 
+def second_order_delta(defn: Expr, first: Event, second: Event) -> Expr:
+    """The delta-of-delta: how ``defn``'s *delta* changes under another event.
+
+    ``delta(defn, first)`` is the per-event maintenance work for ``first``;
+    its delta with respect to ``second`` measures how that work shifts once
+    another tuple of the batch has been applied — the higher-order delta of
+    Ahmad et al. (and the nested incrementalisation DBSP formalises).  The
+    result drives the batch-sink classification (:func:`batch_delta_order`):
+    a vanishing second-order delta means per-row deltas are independent of
+    batch position and may be summed (first-order accumulation); a
+    non-vanishing one means the batch must carry a correction term.
+
+    Both events must carry distinct parameter names (the second event's
+    tuple is formally different from the first's).
+    """
+    if set(first.params) & set(second.params):
+        raise AlgebraError(
+            "second_order_delta requires disjoint event parameters, got "
+            f"{first!r} and {second!r}"
+        )
+    from repro.algebra.simplify import simplify
+
+    inner = simplify(delta(defn, first), bound=first.params)
+    if inner == ZERO:
+        return ZERO
+    return simplify(
+        delta(inner, second), bound=first.params + second.params
+    )
+
+
+def batch_delta_order(defn: Expr, event: Event) -> int:
+    """How a map's delta behaves across a batch of same-``(relation, sign)``
+    events: the order of the lowest non-vanishing delta beyond which all
+    higher deltas are irrelevant to batch absorption.
+
+    * ``0`` — the map does not change under this event at all;
+    * ``1`` — the per-event delta is *state-independent with respect to this
+      batch*: applying other batch rows first does not change it, so the
+      batch delta is the plain sum of per-row deltas (Z-set accumulation);
+    * ``2`` — the per-event delta itself shifts as the batch applies
+      (non-linear shapes: nested aggregates, Exists, comparisons against
+      stream-derived thresholds); absorbing the batch needs a second-order
+      correction.
+    """
+    twin = Event(
+        event.relation,
+        event.sign,
+        tuple(f"{param}__o2" for param in event.params),
+    )
+    from repro.algebra.simplify import simplify
+
+    first = simplify(delta(defn, event), bound=event.params)
+    if first == ZERO:
+        return 0
+    second = simplify(
+        delta(first, twin), bound=event.params + twin.params
+    )
+    return 1 if second == ZERO else 2
+
+
 def event_for(relation: str, columns: tuple[str, ...], sign: int) -> Event:
     """Build a formal event whose parameters embed the relation name.
 

@@ -8,11 +8,15 @@ arguments, so the generated code pays no attribute or global lookups on
 the hot path.
 
 Every trigger is emitted twice: the per-event function ``on_<kind>_<rel>``
-and a *batch* variant ``on_<kind>_<rel>_batch(rows)`` rendered from the
+and a *batch* variant ``on_<kind>_<rel>_batch(cols)`` rendered from the
 batch IR derived from the same lowering.  The batch variant binds
-map/index locals once per call and unpacks the event parameters in the
-row-loop header; independent triggers accumulate whole-batch deltas in
-locals flushed once (the Z-set batch-delta shape).
+map/index locals once per call and iterates the *columnar* batch — one
+parallel list per event column — binding only the columns its body reads
+(unused columns are never touched).  Independent triggers accumulate
+whole-batch deltas in locals flushed once (the Z-set batch-delta shape);
+self-reading triggers that admit a second-order plan accumulate their
+first-order statements and restate the order-2 targets once per batch
+(see :func:`repro.ir.lower.plan_second_order`).
 
 Secondary indexes are a back-end concern layered onto the IR here: the
 loop access patterns collected from the lowered IR get one index dict per
@@ -58,6 +62,7 @@ from repro.ir.nodes import (
     Sum,
     TriggerIR,
     read_slots,
+    used_names,
     walk_stmts,
     written_slots,
 )
@@ -111,7 +116,7 @@ def index_name(map_name: str, pattern: tuple[int, ...]) -> str:
 
 
 def collect_patterns(
-    program: CompiledProgram, optimize: bool = True
+    program: CompiledProgram, optimize: bool = True, second_order: bool = True
 ) -> dict[str, set[tuple[int, ...]]]:
     """Access patterns needing secondary indexes, from the lowered IR.
 
@@ -119,7 +124,7 @@ def collect_patterns(
     DBToaster calls these the map's *in/out patterns* and maintains one
     index per pattern so loops touch only matching entries.
     """
-    ir = lower_program(program, optimize=optimize)
+    ir = lower_program(program, optimize=optimize, second_order=second_order)
     return collect_patterns_ir(
         list(ir.triggers.values()) + list(ir.batch_triggers.values())
     )
@@ -129,6 +134,7 @@ def generate_module(
     program: CompiledProgram,
     use_indexes: bool = True,
     optimize: bool = True,
+    second_order: bool = True,
 ) -> str:
     """Generate the full trigger module source for a compiled program.
 
@@ -136,12 +142,18 @@ def generate_module(
     maps iterated with partially-bound keys get secondary index
     dictionaries, maintained inline by every writer and used by loops to
     touch only matching entries.  ``optimize=False`` renders the raw
-    lowering with the IR pass pipeline disabled (the ablation knob).
+    lowering with the IR pass pipeline disabled (the ablation knob);
+    ``second_order=False`` disables the delta-of-delta batch sink (the
+    higher-order batching ablation).
     """
     from repro.compiler.partition import analyze_partitioning
 
-    ir = lower_program(program, optimize=optimize)
-    indexes = collect_patterns(program, optimize=optimize) if use_indexes else {}
+    ir = lower_program(program, optimize=optimize, second_order=second_order)
+    indexes = (
+        collect_patterns(program, optimize=optimize, second_order=second_order)
+        if use_indexes
+        else {}
+    )
     emitter = Emitter()
     emitter.line('"""Generated delta-processing triggers (do not edit).')
     emitter.line("")
@@ -149,7 +161,8 @@ def generate_module(
     emitter.line("(repro.ir); maps (and secondary indexes) are bound as")
     emitter.line("default arguments at exec time.  Each trigger has a")
     emitter.line("per-event function and a *_batch variant applying a")
-    emitter.line("whole row list per call.")
+    emitter.line("whole columnar batch (one parallel list per event")
+    emitter.line("column) per call.")
     emitter.line("")
     passes = ", ".join(ir.passes) if ir.passes else "disabled"
     emitter.line(f"IR optimisation passes: {passes}.")
@@ -236,7 +249,7 @@ def _generate_trigger(
         else:
             renderer.render_body(per_event.body)
     emitter.blank()
-    batch_signature = ", ".join(["__rows"] + defaults)
+    batch_signature = ", ".join(["__cols"] + defaults)
     emitter.line(f"def {trigger.name}_batch({batch_signature}):")
     with emitter.block():
         if not batch.body:
@@ -282,16 +295,7 @@ class _PyRenderer:
             self._render_map_loop(stmt)
             return
         if isinstance(stmt, ForEachRow):
-            params = stmt.params
-            if not params:
-                target = "_"
-            elif len(params) == 1:
-                target = f"{params[0]},"
-            else:
-                target = ", ".join(params)
-            emitter.line(f"for {target} in {stmt.rows_var}:")
-            with emitter.block():
-                self.render_body(stmt.body)
+            self._render_row_loop(stmt)
             return
         if isinstance(stmt, AddTo):
             self._render_add_to(stmt)
@@ -334,14 +338,46 @@ class _PyRenderer:
                 )
             return
         if isinstance(stmt, Clear):
-            storage = (
-                stmt.target.name
-                if stmt.target.local
-                else map_local(stmt.target.name)
-            )
-            emitter.line(f"{storage}.clear()")
+            if stmt.target.local:
+                emitter.line(f"{stmt.target.name}.clear()")
+                return
+            emitter.line(f"{map_local(stmt.target.name)}.clear()")
+            # A cleared map's secondary indexes are cleared with it (the
+            # recompute that follows re-populates both through _apply).
+            for pattern in sorted(self.indexes.get(stmt.target.name, ())):
+                emitter.line(f"{index_name(stmt.target.name, pattern)}.clear()")
             return
         raise CodegenError(f"cannot render IR statement {stmt!r}")
+
+    def _render_row_loop(self, stmt: ForEachRow) -> None:
+        """The columnar batch loop: iterate only the columns the body reads.
+
+        ``stmt.rows_var`` holds the batch's parallel column lists (one per
+        event parameter, equal lengths).  Parameters the body never
+        references are pruned from the loop header, so a trigger touching
+        two of five event columns walks exactly two lists.
+        """
+        emitter = self.emitter
+        used = used_names(stmt.body)
+        pairs = [
+            (position, param)
+            for position, param in enumerate(stmt.params)
+            if param in used
+        ]
+        source = stmt.rows_var
+        if not pairs:
+            emitter.line(
+                f"for _ in range(len({source}[0]) if {source} else 0):"
+            )
+        elif len(pairs) == 1:
+            position, param = pairs[0]
+            emitter.line(f"for {param} in {source}[{position}]:")
+        else:
+            names = ", ".join(param for _, param in pairs)
+            columns = ", ".join(f"{source}[{position}]" for position, _ in pairs)
+            emitter.line(f"for {names} in zip({columns}):")
+        with emitter.block():
+            self.render_body(stmt.body)
 
     def _render_map_loop(self, stmt: ForEachMap) -> None:
         emitter = self.emitter
@@ -530,15 +566,22 @@ class CompiledExecutor:
         maps: Optional[dict] = None,
         use_indexes: bool = True,
         optimize: bool = True,
+        second_order: bool = True,
     ):
         self.program = program
         self.use_indexes = use_indexes
         self.optimize = optimize
+        self.second_order = second_order
         self._index_patterns = (
-            collect_patterns(program, optimize=optimize) if use_indexes else {}
+            collect_patterns(program, optimize=optimize, second_order=second_order)
+            if use_indexes
+            else {}
         )
         self.source = generate_module(
-            program, use_indexes=use_indexes, optimize=optimize
+            program,
+            use_indexes=use_indexes,
+            optimize=optimize,
+            second_order=second_order,
         )
         self._functions: dict[tuple[str, int], object] = {}
         self._batch_functions: dict[tuple[str, int], object] = {}
@@ -589,11 +632,27 @@ class CompiledExecutor:
     def execute_batch(
         self,
         trigger: Trigger,
-        rows: Sequence[Sequence],
+        columns: Sequence[Sequence],
         maps: dict,
         profiler=None,
     ) -> None:
-        """Apply a whole run of same-trigger rows with one generated call."""
+        """Apply a whole same-trigger columnar batch with one generated call.
+
+        ``columns`` is the struct-of-arrays layout of
+        :class:`~repro.runtime.events.EventBatch`: one parallel list per
+        event column.
+        """
         if self._maps is None or self._maps is not maps:
             self.bind(maps)
-        self._batch_functions[(trigger.relation, trigger.sign)](rows)
+        self._batch_functions[(trigger.relation, trigger.sign)](columns)
+
+    def index_entry_counts(self) -> dict[str, int]:
+        """Secondary-index entries currently held, per indexed map."""
+        counts: dict[str, int] = {}
+        for map_name, patterns in self._index_patterns.items():
+            total = 0
+            for pattern in patterns:
+                buckets = self.indexes.get(index_name(map_name, pattern), {})
+                total += sum(len(bucket) for bucket in buckets.values())
+            counts[map_name] = total
+        return counts

@@ -150,6 +150,24 @@ class MapRegistry:
         self.pending.append(map_def)
         return map_def
 
+    @classmethod
+    def seeded(cls, maps: dict[str, MapDef], share: bool = True) -> "MapRegistry":
+        """A registry pre-populated with already-maintained maps.
+
+        Structural sharing resolves against the existing definitions
+        (re-canonicalised here, so the invariant lives with the code that
+        owns it); callers that must not *create* maps treat a non-empty
+        ``pending`` after rewriting as "a new map would be needed".
+        """
+        registry = cls(share=share)
+        registry.maps = dict(maps)
+        for name, map_def in maps.items():
+            defn = map_def.defn
+            if isinstance(defn, AggSum):
+                canon, _keys = canonicalize(map_def.keys, defn.body)
+                registry._canonical[canon] = name
+        return registry
+
     def occurrence_map(self, relation: str, arity: int) -> MapDef:
         """The tuple-multiplicity map of a base relation."""
         vars_ = tuple(Var(f"c{i}") for i in range(arity))

@@ -24,13 +24,15 @@ from repro.ir.optimize import (
     exact_value_maps,
     optimize_program,
 )
-from repro.ir.pretty import ir_stats, program_str, trigger_str
+from repro.ir.lower import plan_second_order
+from repro.ir.pretty import batch_sinks_str, ir_stats, program_str, trigger_str
 from repro.ir.nodes import ProgramIR, TriggerIR
 
 __all__ = [
     "DEFAULT_PASSES",
     "ProgramIR",
     "TriggerIR",
+    "batch_sinks_str",
     "collect_patterns_ir",
     "dead_map_names",
     "exact_value_maps",
@@ -39,6 +41,7 @@ __all__ = [
     "lower_trigger",
     "lower_trigger_batch",
     "optimize_program",
+    "plan_second_order",
     "program_str",
     "trigger_str",
 ]

@@ -43,6 +43,7 @@ from repro.ir.nodes import (
     Slot,
     Sum,
     TriggerIR,
+    walk_stmts,
 )
 
 
@@ -163,7 +164,10 @@ def run_stmt(
     if isinstance(stmt, ForEachRow):
         params = stmt.params
         body = stmt.body
-        for row in env[stmt.rows_var]:
+        columns = env[stmt.rows_var]
+        if not columns:
+            return
+        for row in zip(*columns):
             for name, value in zip(params, row):
                 env[name] = value
             run_stmts(body, env, maps, recorder, entry)
@@ -240,6 +244,45 @@ def run_trigger(
             for target, _key, _value in recorder.updates:
                 counts[target] = counts.get(target, 0) + 1
             for target in stmt.targets:
+                profiler.record_statement(target, counts.get(target, 0))
+        else:
+            run_stmt(stmt, env, maps, None)
+
+
+def run_trigger_batch(
+    trigger_ir: TriggerIR,
+    columns,
+    maps: dict,
+    profiler=None,
+) -> None:
+    """Execute one *batch* trigger body over a columnar batch.
+
+    ``columns`` is the struct-of-arrays row set
+    (:class:`~repro.runtime.events.EventBatch` layout); the body's
+    :class:`ForEachRow` loop iterates it directly, so the interpreter
+    absorbs batches with the same first-/second-order accumulation shape
+    the compiled back end runs — while still re-traversing the IR nodes
+    (the interpretation overhead the ablation isolates).
+    """
+    env: dict = {"__cols": columns}
+    if profiler is None:
+        run_stmts(trigger_ir.body, env, maps, None)
+        return
+    for stmt in trigger_ir.body:
+        if isinstance(stmt, (Block, ForEachRow)):
+            # Profile the row loop as a whole: its nested blocks' map
+            # updates are attributed per target (whole-batch counts, the
+            # batch-granularity analogue of per-event statement counts).
+            recorder = _Recorder()
+            run_stmt(stmt, env, maps, recorder)
+            counts: dict[str, int] = {}
+            for target, _key, _value in recorder.updates:
+                counts[target] = counts.get(target, 0) + 1
+            targets: set[str] = set()
+            for inner in walk_stmts((stmt,)):
+                if isinstance(inner, Block):
+                    targets.update(inner.targets)
+            for target in sorted(targets):
                 profiler.record_statement(target, counts.get(target, 0))
         else:
             run_stmt(stmt, env, maps, None)

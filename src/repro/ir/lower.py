@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import CodegenError
+from repro.errors import CodegenError, CompilationError
 from repro.algebra.expr import (
     Add,
     AggSum,
@@ -29,14 +29,18 @@ from repro.algebra.expr import (
     Mul,
     Neg as ANeg,
     Var,
+    contains_relation,
+    mul as alg_mul,
 )
 from repro.algebra.schema import output_vars
 from repro.algebra.simplify import monomials
+from repro.compiler.materialize import MapRegistry, Materializer
 from repro.compiler.program import (
     CompiledProgram,
     Statement,
     Trigger,
     needs_buffering,
+    validate_statement,
 )
 from repro.ir.nodes import (
     AddTo,
@@ -45,6 +49,7 @@ from repro.ir.nodes import (
     Accum,
     Block,
     BufferDecl,
+    Clear,
     Compare,
     Const,
     FlushBuffer,
@@ -441,6 +446,147 @@ def lower_trigger(trigger: Trigger, namer: Optional[_Namer] = None) -> TriggerIR
     )
 
 
+# ---------------------------------------------------------------------------
+# Second-order batch planning (delta-of-delta absorption)
+# ---------------------------------------------------------------------------
+
+
+class SecondOrderPlan:
+    """How a self-reading trigger absorbs a whole batch.
+
+    ``base`` are the statements whose per-event delta is batch-independent
+    (:func:`repro.algebra.delta.batch_delta_order` 1 on their targets):
+    they run in the row loop with first-order accumulation.  ``restate``
+    maps the order-2 targets — whose deltas shift as the batch applies —
+    to once-per-batch *recompute* statements derived from the target's
+    defining query, rewritten over already-maintained maps.  The
+    second-order deltas telescope across the batch, so clearing the target
+    and re-evaluating its definition against the post-batch base maps
+    yields exactly the per-event end state (gated on exact-integer ring
+    values so float addition order cannot diverge).  ``order`` sequences
+    the restatements so one recompute may read another's fresh value.
+    """
+
+    def __init__(
+        self,
+        base: list[Statement],
+        restate: dict[str, list[Statement]],
+        order: list[str],
+    ) -> None:
+        self.base = base
+        self.restate = restate
+        self.order = order
+
+
+def _recompute_statements(
+    map_def, registry: MapRegistry
+) -> Optional[list[Statement]]:
+    """Statements re-evaluating a map's definition over maintained maps.
+
+    Every base-relation atom and materialisable aggregate of the defining
+    query must resolve to a map the program *already* maintains (the
+    registry is seeded read-only; any attempt to create a new map rejects
+    the plan).  Returns one ``target[keys] += monomial`` statement per
+    monomial of the definition body, or ``None`` when the definition
+    cannot be restated from existing maps.
+    """
+    defn = map_def.defn
+    if not isinstance(defn, AggSum):
+        return None
+    materializer = Materializer(registry, bound=(), derived_maps=True)
+    statements: list[Statement] = []
+    for coeff, factors in monomials(defn.body):
+        bound: set[str] = set()
+        parts: list[Expr] = [] if coeff == 1 else [AConst(coeff)]
+        for factor in factors:
+            parts.append(materializer.rewrite(factor, frozenset(bound)))
+            bound.update(output_vars(factor))
+        rhs = alg_mul(*parts)
+        if registry.pending or contains_relation(rhs):
+            return None
+        statement = Statement(
+            target=map_def.name,
+            args=tuple(Var(key) for key in map_def.keys),
+            rhs=rhs,
+            loop_vars=tuple(map_def.keys),
+        )
+        try:
+            validate_statement(statement)
+        except CompilationError:
+            return None
+        statements.append(statement)
+    return statements
+
+
+def plan_second_order(
+    trigger: Trigger, program: CompiledProgram
+) -> Optional[SecondOrderPlan]:
+    """Derive the second-order batch plan for a self-reading trigger.
+
+    Per target, the delta-of-delta of its defining query with respect to
+    two formal events of this trigger's ``(relation, sign)`` decides the
+    sink: a vanishing second-order delta means the per-row deltas sum
+    (first-order accumulation in the row loop); a non-vanishing one means
+    the target is *restated* once per batch from its definition.  The plan
+    is rejected — falling back to the per-row loop — when any of the
+    soundness gates fails:
+
+    * every written map must have provably exact (integer) ring values, so
+      the re-ordered additions stay bit-identical to per-event execution;
+    * first-order statements must read no map the trigger writes (their
+      inputs are constant across the batch);
+    * every restated definition must be expressible over maps the program
+      already maintains, must not read its own target, and the restate
+      dependencies must be acyclic.
+    """
+    from repro.algebra.delta import Event, batch_delta_order
+    from repro.ir.optimize import exact_value_maps
+
+    if not trigger.statements:
+        return None
+    written = {s.target for s in trigger.statements}
+    exact = exact_value_maps(program)
+    if not written <= exact:
+        return None
+    event = Event(trigger.relation, trigger.sign, trigger.params)
+    restate_targets = sorted(
+        name
+        for name in written
+        if batch_delta_order(program.maps[name].defn, event) >= 2
+    )
+    if not restate_targets:
+        return None
+    base = [s for s in trigger.statements if s.target not in restate_targets]
+    if any(s.reads() & written for s in base):
+        return None
+
+    registry = MapRegistry.seeded(program.maps)
+    restate: dict[str, list[Statement]] = {}
+    restate_reads: dict[str, set[str]] = {}
+    for name in restate_targets:
+        statements = _recompute_statements(program.maps[name], registry)
+        if statements is None:
+            return None
+        reads = set().union(*(s.reads() for s in statements)) if statements else set()
+        if name in reads:
+            return None
+        restate[name] = statements
+        restate_reads[name] = reads & set(restate_targets)
+
+    # Topologically order the restatements (reader after read).
+    order: list[str] = []
+    placed: set[str] = set()
+    remaining = list(restate_targets)
+    while remaining:
+        ready = [n for n in remaining if restate_reads[n] <= placed]
+        if not ready:
+            return None  # mutually recursive restatements
+        order.extend(ready)
+        placed.update(ready)
+        remaining = [n for n in remaining if n not in placed]
+    return SecondOrderPlan(base, restate, order)
+
+
 def _accumulates(
     statement: Statement,
     trigger: Trigger,
@@ -463,43 +609,26 @@ def _accumulates(
     return len(statement.args) < len(trigger.params)
 
 
-def lower_trigger_batch(
+def _lower_accumulated(
+    statements: list[Statement],
     trigger: Trigger,
-    per_event: TriggerIR,
     patterns: dict[str, set[tuple[int, ...]]],
-    namer: Optional[_Namer] = None,
-) -> TriggerIR:
-    """The batch trigger body, derived from the same statement lowering.
+    namer: _Namer,
+    sinks: dict[int, str],
+) -> list[IRStmt]:
+    """The accumulate-then-merge row loop over ``statements``.
 
-    Independent triggers (no statement reads a map the trigger writes)
-    accumulate batch deltas in locals flushed once after the row loop;
-    everything else simply runs the per-event body once per row.
+    Statements whose batch delta is worth accumulating get a trigger-local
+    accumulator (scalar or keyed) merged into the program map once after
+    the loop; the rest apply directly per row.  ``sinks`` receives the
+    chosen sink per statement position (reporting).
     """
-    namer = namer or _Namer()
-    name = f"{trigger.name}_batch"
-    if not trigger.statements:
-        return TriggerIR(trigger.relation, trigger.sign, name, trigger.params, ())
-
-    written = {s.target for s in trigger.statements}
-    independent = not any(s.reads() & written for s in trigger.statements)
     accs: dict[int, str] = {}
-    if independent:
-        for position, statement in enumerate(trigger.statements):
-            if _accumulates(statement, trigger, patterns):
-                accs[position] = f"__b{position}"
-
-    if not accs:
-        # Reuse the (already optimised) per-event blocks row by row.
-        return TriggerIR(
-            trigger.relation,
-            trigger.sign,
-            name,
-            trigger.params,
-            (ForEachRow("__rows", trigger.params, per_event.body),),
-        )
-
+    for position, statement in enumerate(statements):
+        if _accumulates(statement, trigger, patterns):
+            accs[position] = f"__b{position}"
     body: list[IRStmt] = []
-    for position, statement in enumerate(trigger.statements):
+    for position, statement in enumerate(statements):
         acc = accs.get(position)
         if acc is None:
             continue
@@ -509,17 +638,20 @@ def lower_trigger_batch(
             else LocalMapDecl(acc, arity=len(statement.args))
         )
     row_blocks: list[IRStmt] = []
-    for position, statement in enumerate(trigger.statements):
+    for position, statement in enumerate(statements):
         acc = accs.get(position)
         if acc is None:
             sink = _Sink("direct", statement.target, statement.args)
+            sinks[position] = "direct"
         elif not statement.args:
             sink = _Sink("scalar-acc", statement.target, statement.args, acc=acc)
+            sinks[position] = "accumulator"
         else:
             sink = _Sink("keyed-acc", statement.target, statement.args, acc=acc)
+            sinks[position] = "accumulator"
         row_blocks.append(lower_statement(statement, trigger.params, sink, namer))
-    body.append(ForEachRow("__rows", trigger.params, tuple(row_blocks)))
-    for position, statement in enumerate(trigger.statements):
+    body.append(ForEachRow("__cols", trigger.params, tuple(row_blocks)))
+    for position, statement in enumerate(statements):
         acc = accs.get(position)
         if acc is None:
             continue
@@ -546,7 +678,123 @@ def lower_trigger_batch(
                     sources=(statement,),
                 )
             )
-    return TriggerIR(trigger.relation, trigger.sign, name, trigger.params, tuple(body))
+    return body
+
+
+def _lower_second_order(
+    trigger: Trigger,
+    plan: SecondOrderPlan,
+    patterns: dict[str, set[tuple[int, ...]]],
+    namer: _Namer,
+) -> tuple[tuple[IRStmt, ...], tuple[tuple[str, str], ...]]:
+    """The accumulate-then-flush batch body of a second-order plan.
+
+    First-order (base) statements run in the row loop with batch-delta
+    accumulation; then every order-2 target is restated once — cleared and
+    re-evaluated from its definition over the post-batch base maps (the
+    telescoped second-order correction).  All clears precede all
+    recomputes so one restatement may read another's fresh value, and so
+    the recompute loops stay fusable.
+    """
+    base_sinks: dict[int, str] = {}
+    body = _lower_accumulated(plan.base, trigger, patterns, namer, base_sinks)
+    for target in plan.order:
+        body.append(
+            Block(
+                comments=(f"second-order flush: restate {target}",),
+                targets=(target,),
+                stmts=(Clear(Slot(target)),),
+                sources=(),
+            )
+        )
+    for target in plan.order:
+        for statement in plan.restate[target]:
+            sink = _Sink("direct", statement.target, statement.args)
+            body.append(lower_statement(statement, (), sink, namer))
+
+    base_order = {id(s): base_sinks[i] for i, s in enumerate(plan.base)}
+    report = tuple(
+        (repr(statement), base_order.get(id(statement), "second-order"))
+        for statement in trigger.statements
+    )
+    return tuple(body), report
+
+
+def lower_trigger_batch(
+    trigger: Trigger,
+    per_event: TriggerIR,
+    patterns: dict[str, set[tuple[int, ...]]],
+    namer: Optional[_Namer] = None,
+    program: Optional[CompiledProgram] = None,
+    second_order: bool = True,
+) -> tuple[TriggerIR, tuple[tuple[str, str], ...]]:
+    """The batch trigger body, derived from the same statement lowering.
+
+    Returns the trigger IR plus the per-statement sink report.  Three
+    shapes, by how the trigger's deltas behave across a batch:
+
+    * *independent* triggers (no statement reads a map the trigger
+      writes) accumulate first-order batch deltas in locals flushed once
+      after the row loop;
+    * *self-reading* triggers whose delta-of-delta analysis admits a
+      :class:`SecondOrderPlan` accumulate their first-order statements and
+      restate the order-2 targets once per batch;
+    * everything else runs the per-event body once per row (the fallback,
+      reported as ``per-row``/``buffered``).
+    """
+    namer = namer or _Namer()
+    name = f"{trigger.name}_batch"
+    if not trigger.statements:
+        return (
+            TriggerIR(trigger.relation, trigger.sign, name, trigger.params, ()),
+            (),
+        )
+
+    written = {s.target for s in trigger.statements}
+    independent = not any(s.reads() & written for s in trigger.statements)
+
+    if not independent and second_order and program is not None:
+        plan = plan_second_order(trigger, program)
+        if plan is not None:
+            body, report = _lower_second_order(trigger, plan, patterns, namer)
+            return (
+                TriggerIR(trigger.relation, trigger.sign, name, trigger.params, body),
+                report,
+            )
+
+    if independent:
+        sinks: dict[int, str] = {}
+        accumulated = _lower_accumulated(
+            trigger.statements, trigger, patterns, namer, sinks
+        )
+        if any(kind == "accumulator" for kind in sinks.values()):
+            report = tuple(
+                (repr(s), sinks[i]) for i, s in enumerate(trigger.statements)
+            )
+            return (
+                TriggerIR(
+                    trigger.relation,
+                    trigger.sign,
+                    name,
+                    trigger.params,
+                    tuple(accumulated),
+                ),
+                report,
+            )
+
+    # Reuse the (already optimised) per-event blocks row by row.
+    fallback = "buffered" if needs_buffering(trigger.statements) else "per-row"
+    report = tuple((repr(s), fallback) for s in trigger.statements)
+    return (
+        TriggerIR(
+            trigger.relation,
+            trigger.sign,
+            name,
+            trigger.params,
+            (ForEachRow("__cols", trigger.params, per_event.body),),
+        ),
+        report,
+    )
 
 
 def collect_patterns_ir(triggers) -> dict[str, set[tuple[int, ...]]]:
@@ -573,11 +821,17 @@ def lower_program(
     program: CompiledProgram,
     optimize: bool = True,
     passes: Optional[tuple[str, ...]] = None,
+    second_order: bool = True,
 ) -> ProgramIR:
     """Lower (and optionally optimise) a whole compiled program.
 
+    ``second_order=False`` disables the delta-of-delta batch sink (the
+    self-reading triggers fall back to the per-row loop) — the ablation
+    knob for the higher-order batching experiment.
+
     The result is cached on the program object: every back end asking for
-    the same ``(optimize, passes)`` configuration shares one ProgramIR.
+    the same ``(optimize, passes, second_order)`` configuration shares one
+    ProgramIR.
     """
     from repro.ir.optimize import DEFAULT_PASSES, optimize_program
 
@@ -586,7 +840,7 @@ def lower_program(
     else:
         wanted = DEFAULT_PASSES if optimize else ()
     cache = program.__dict__.setdefault("_ir_cache", {})
-    cached = cache.get(wanted)
+    cached = cache.get((wanted, second_order))
     if cached is not None:
         return cached
 
@@ -617,12 +871,19 @@ def lower_program(
     # pass pipeline.
     patterns = collect_patterns_ir(ir.triggers.values())
     batch: dict[tuple[str, int], TriggerIR] = {}
+    sinks: dict[tuple[str, int], tuple[tuple[str, str], ...]] = {}
     for key, trigger in program.triggers.items():
-        batch[key] = lower_trigger_batch(
-            trigger, ir.triggers[key], patterns, namers[key]
+        batch[key], sinks[key] = lower_trigger_batch(
+            trigger,
+            ir.triggers[key],
+            patterns,
+            namers[key],
+            program=program,
+            second_order=second_order,
         )
     ir.batch_triggers = batch
+    ir.batch_sinks = sinks
     if wanted:
         ir = optimize_program(ir, program, wanted, batch_only=True)
-    cache[wanted] = ir
+    cache[(wanted, second_order)] = ir
     return ir

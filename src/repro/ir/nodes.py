@@ -352,12 +352,20 @@ class TriggerIR:
 @dataclass
 class ProgramIR:
     """The lowered program: map declarations plus per-event and batch
-    trigger bodies, with the optimisation pass list that produced them."""
+    trigger bodies, with the optimisation pass list that produced them.
+
+    ``batch_sinks`` records, per trigger, the batch sink chosen for every
+    compiled statement (``direct`` / ``buffered`` / ``accumulator`` /
+    ``second-order`` / ``per-row``) — the ``--dump-ir`` and benchmark
+    coverage report of the batch-path rewriting."""
 
     maps: dict[str, MapDecl]
     triggers: dict[tuple[str, int], TriggerIR]
     batch_triggers: dict[tuple[str, int], TriggerIR]
     passes: tuple[str, ...] = ()
+    batch_sinks: dict[tuple[str, int], tuple[tuple[str, str], ...]] = field(
+        default_factory=dict
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,15 @@ rewrite that would reorder additions into a map is only applied when the
 map's ring values are provably exact (integer — no FLOAT relations, no
 division and no float literals in value position of its definition), the
 same discipline the sharding analysis uses for cross-shard sums.
+
+The passes apply to the batch bodies too, including the second-order
+accumulate-then-flush shape: the once-per-batch restate scans are emitted
+as single-loop blocks so ``fuse-loops`` merges restatements scanning the
+same base map into one traversal, and ``hoist-invariants`` lifts their
+batch-constant thresholds.  :class:`~repro.ir.nodes.Clear` (the flush's
+zeroing write) is *destructive* — unlike additions it never commutes, even
+into exact maps — so the reorder analyses refuse any write-write overlap
+involving one.
 """
 
 from __future__ import annotations
@@ -102,6 +111,19 @@ def _ordered_writes(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
         if isinstance(stmt, AppendTo):
             out.add(stmt.target)
     return frozenset(out)
+
+
+def _destructive_writes(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
+    """Slots written *non-additively* (Clear): these never commute.
+
+    The exact-integer exemption lets additive writes into one map reorder;
+    a Clear absorbs instead of adds (the second-order batch flush clears a
+    restated map before re-evaluating its definition), so any write-write
+    overlap involving one must keep program order.
+    """
+    return frozenset(
+        stmt.target for stmt in walk_stmts(stmts) if isinstance(stmt, Clear)
+    )
 
 
 def _reads(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
@@ -233,10 +255,13 @@ def _may_reorder(
     m_applied = _applied_writes(mover_stmts)
     m_ordered = _ordered_writes(mover_stmts)
     m_reads = _reads(mover_stmts)
+    m_destructive = _destructive_writes(mover_stmts)
     for other in blocked_by:
         o_stmts = (other,)
         overlap = _ordered_writes(o_stmts) & m_ordered
         if any(slot.local or slot.name not in exact for slot in overlap):
+            return False
+        if overlap & (m_destructive | _destructive_writes(o_stmts)):
             return False
         if _applied_writes(o_stmts) & m_reads:
             return False
@@ -252,6 +277,8 @@ def _fusable_bodies(a: ForEachMap, b: ForEachMap, exact: frozenset[str]) -> bool
     if _applied_writes(b.body) & _reads(a.body):
         return False
     overlap = _ordered_writes(a.body) & _ordered_writes(b.body)
+    if overlap & (_destructive_writes(a.body) | _destructive_writes(b.body)):
+        return False
     return not any(slot.local or slot.name not in exact for slot in overlap)
 
 

@@ -128,8 +128,35 @@ def trigger_str(trigger_ir: TriggerIR) -> str:
     return "\n".join(lines)
 
 
+def batch_sinks_str(ir: ProgramIR) -> str:
+    """The per-statement batch-sink report (``--dump-ir``).
+
+    For every trigger, how each compiled statement leaves the batch row
+    loop: ``direct`` (applied per row), ``accumulator`` (first-order
+    batch-delta local merged once), ``second-order`` (target cleared and
+    restated once per batch — the delta-of-delta sink), or
+    ``per-row``/``buffered`` (the whole per-event body replays per row).
+    """
+    lines = ["== batch sinks =="]
+    kind = {1: "insert", -1: "delete"}
+    for key in sorted(ir.batch_sinks, key=lambda k: (k[0], -k[1])):
+        trigger_ir = ir.batch_triggers.get(key)
+        if trigger_ir is not None:
+            name = trigger_ir.name
+        else:  # batch body not lowered (defensive): rebuild the name
+            name = f"on_{kind[key[1]]}_{key[0].lower()}_batch"
+        lines.append(f"{name}:")
+        sinks = ir.batch_sinks[key]
+        if not sinks:
+            lines.append("  (no statements)")
+        for statement, sink in sinks:
+            lines.append(f"  [{sink:>12}] {statement}")
+    return "\n".join(lines)
+
+
 def program_str(ir: ProgramIR) -> str:
-    """The full IR dump: map declarations, passes, every trigger body."""
+    """The full IR dump: map declarations, passes, batch sinks, every
+    trigger body."""
     lines = ["== IR maps =="]
     for decl in ir.maps.values():
         role = f" ({decl.role})" if decl.role != "derived" else ""
@@ -138,6 +165,9 @@ def program_str(ir: ProgramIR) -> str:
     lines.append(
         "== IR passes ==\n" + (", ".join(ir.passes) if ir.passes else "(none)")
     )
+    if ir.batch_sinks:
+        lines.append("")
+        lines.append(batch_sinks_str(ir))
     for key in sorted(ir.triggers, key=lambda k: (k[0], -k[1])):
         lines.append("")
         lines.append(trigger_str(ir.triggers[key]))

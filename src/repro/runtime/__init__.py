@@ -24,6 +24,7 @@ from repro.runtime.events import (
     batches,
     insert,
     delete,
+    partition_columns,
     partition_rows,
     update,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "batches",
     "insert",
     "delete",
+    "partition_columns",
     "partition_rows",
     "update",
     "DeltaEngine",

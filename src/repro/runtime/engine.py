@@ -46,14 +46,27 @@ from typing import Iterable, Mapping, Optional, Sequence
 from repro.errors import EventError, UnknownStreamError
 from repro.compiler.partition import PartitionSpec, analyze_partitioning
 from repro.compiler.program import CompiledProgram, Trigger
-from repro.runtime.events import StreamEvent, batches, partition_rows
+from repro.runtime.events import (
+    EventBatch,
+    StreamEvent,
+    batches,
+    partition_columns,
+    partition_rows,
+)
 
 #: Default rows-per-batch cap for ``process_stream``: large enough to
 #: amortise dispatch, small enough that grouping an archived single-relation
 #: stream stays O(batch) in memory instead of buffering the whole run.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Below this run length, shard routing partitions row tuples (one hash and
+#: one append per row) instead of building per-shard column gathers.
+_ROW_ROUTE_THRESHOLD = 8
 from repro.runtime.views import query_results, result_rows_to_dicts
-from repro.ir.interp import run_trigger as _run_trigger
+from repro.ir.interp import (
+    run_trigger as _run_trigger,
+    run_trigger_batch as _run_trigger_batch,
+)
 
 
 class InterpretedExecutor:
@@ -67,12 +80,20 @@ class InterpretedExecutor:
 
     mode = "interpreted"
 
-    def __init__(self, program: CompiledProgram, optimize: bool = True) -> None:
+    def __init__(
+        self,
+        program: CompiledProgram,
+        optimize: bool = True,
+        second_order: bool = True,
+    ) -> None:
         from repro.ir.lower import lower_program
 
         self.program = program
         self.optimize = optimize
-        self._ir = lower_program(program, optimize=optimize)
+        self.second_order = second_order
+        self._ir = lower_program(
+            program, optimize=optimize, second_order=second_order
+        )
 
     def execute(
         self,
@@ -91,19 +112,24 @@ class InterpretedExecutor:
     def execute_batch(
         self,
         trigger: Trigger,
-        rows: Sequence[Sequence],
+        columns: Sequence[Sequence],
         maps: dict[str, dict],
         profiler=None,
     ) -> None:
-        """Interpret a batch row by row.
+        """Interpret a whole columnar batch through the batch trigger IR.
 
-        Deliberately a plain loop: batching only amortises *engine* dispatch
-        here, keeping the per-event interpretation overhead intact so the
-        compiled-vs-interpreted ablation still isolates what code generation
-        removes.
+        The interpreter walks the same accumulate-then-flush batch bodies
+        the compiled back end renders (first-order accumulation,
+        second-order restatement), still re-traversing the IR nodes per
+        row — so the compiled-vs-interpreted ablation keeps isolating what
+        code generation removes, at matching batch semantics.
         """
-        for values in rows:
-            self.execute(trigger, values, maps, profiler)
+        _run_trigger_batch(
+            self._ir.batch_triggers[(trigger.relation, trigger.sign)],
+            columns,
+            maps,
+            profiler,
+        )
 
 
 class DeltaEngine:
@@ -117,6 +143,7 @@ class DeltaEngine:
         strict: bool = False,
         use_indexes: bool = True,
         optimize: bool = True,
+        second_order: bool = True,
     ) -> None:
         """``strict=True`` raises on events for relations no standing query
         reads; the default silently skips them (a feed usually carries more
@@ -124,21 +151,31 @@ class DeltaEngine:
         disables secondary-index generation in compiled mode (the
         access-pattern ablation); ``optimize=False`` disables the IR
         optimisation pipeline in both modes (the loop-optimisation
-        ablation, also the bench harness's ``--no-opt``)."""
+        ablation, also the bench harness's ``--no-opt``);
+        ``second_order=False`` disables the delta-of-delta batch sink, so
+        self-reading triggers fall back to the per-row batch loop (the
+        higher-order batching ablation)."""
         self.program = program
         self.maps: dict[str, dict] = {name: {} for name in program.maps}
         self.profiler = profiler
         self.events_processed = 0
         self.use_indexes = use_indexes
         self.optimize = optimize
+        self.second_order = second_order
         if mode == "compiled":
             from repro.codegen.pygen import CompiledExecutor
 
             self._executor = CompiledExecutor(
-                program, self.maps, use_indexes=use_indexes, optimize=optimize
+                program,
+                self.maps,
+                use_indexes=use_indexes,
+                optimize=optimize,
+                second_order=second_order,
             )
         elif mode == "interpreted":
-            self._executor = InterpretedExecutor(program, optimize=optimize)
+            self._executor = InterpretedExecutor(
+                program, optimize=optimize, second_order=second_order
+            )
         else:
             raise EventError(f"unknown engine mode {mode!r}")
         self.mode = mode
@@ -162,6 +199,7 @@ class DeltaEngine:
             strict=self.strict,
             use_indexes=self.use_indexes,
             optimize=self.optimize,
+            second_order=self.second_order,
         )
         clone.maps.update(
             {name: dict(contents) for name, contents in self.maps.items()}
@@ -212,21 +250,20 @@ class DeltaEngine:
         if self.profiler is not None:
             self.profiler.record_event(event)
 
-    def process_batch(self, relation: str, sign: int, rows: Sequence[Sequence]) -> int:
-        """Apply a run of same-``(relation, sign)`` rows as one batch.
+    def _process_batch(self, batch: EventBatch) -> int:
+        """Dispatch one batch: per-event trigger for a degenerate one-row
+        run (no loop setup, no transpose, and a second-order flush would
+        restate whole maps for one row's change), the columnar ``*_batch``
+        trigger otherwise.
 
-        Semantically identical to ``process``-ing each row in order, but the
-        per-event dispatch cost (trigger lookup, static-table checks,
-        profiler hooks, one Python call per event) is paid once per batch;
-        in compiled mode the rows run through the generated ``*_batch``
-        trigger, which iterates them in straight-line generated code.
-
-        Returns the number of rows that reached a trigger (0 when the
-        relation is unsubscribed and the rows were skipped).
+        This is the engine's hottest dispatch path on interleaved feeds
+        (runs average a handful of rows), so the static-table/strict/skip
+        bookkeeping is inlined rather than factored out.
         """
-        rows = rows if isinstance(rows, list) else list(rows)
-        if not rows:
+        count = batch._length
+        if not count:
             return 0
+        relation, sign = batch.relation, batch.sign
         if relation in self.program.static_relations:
             if self._stream_started:
                 raise EventError(
@@ -248,14 +285,49 @@ class DeltaEngine:
                     raise UnknownStreamError(
                         f"no standing query reads relation {relation!r}"
                     )
-                self.events_skipped += len(rows)
-                return 0
-            return 0  # deletions disabled at compile time, or no statements
-        self._executor.execute_batch(trigger, rows, self.maps, self.profiler)
-        self.events_processed += len(rows)
+                self.events_skipped += count
+            return 0  # or: deletions disabled / no statements
+        if count == 1:
+            self._executor.execute(trigger, batch.row(0), self.maps, self.profiler)
+        else:
+            self._executor.execute_batch(
+                trigger, batch.columns, self.maps, self.profiler
+            )
+        self.events_processed += count
         if self.profiler is not None:
-            self.profiler.record_batch(relation, sign, len(rows))
-        return len(rows)
+            self.profiler.record_batch(relation, sign, count)
+        return count
+
+    def process_batch(self, relation: str, sign: int, rows: Sequence[Sequence]) -> int:
+        """Apply a run of same-``(relation, sign)`` rows as one batch.
+
+        Semantically identical to ``process``-ing each row in order, but the
+        per-event dispatch cost (trigger lookup, static-table checks,
+        profiler hooks, one Python call per event) is paid once per batch;
+        multi-row runs are transposed once into the columnar batch layout
+        and run through the ``*_batch`` trigger.
+
+        Returns the number of rows that reached a trigger (0 when the
+        relation is unsubscribed and the rows were skipped).
+        """
+        rows = rows if isinstance(rows, list) else list(rows)
+        if not rows:
+            return 0
+        return self._process_batch(EventBatch(relation, sign, rows))
+
+    def process_batch_columns(
+        self, relation: str, sign: int, columns: Sequence[Sequence]
+    ) -> int:
+        """Apply one *columnar* batch (parallel per-column lists).
+
+        The native batch entry point — :class:`EventBatch` storage flows
+        here without any row materialisation; in compiled mode the
+        generated ``*_batch`` trigger iterates exactly the column lists its
+        body reads.
+        """
+        return self._process_batch(
+            EventBatch.from_columns(relation, sign, columns)
+        )
 
     def process_stream(
         self, events: Iterable, batch_size: Optional[int] = DEFAULT_BATCH_SIZE
@@ -263,10 +335,12 @@ class DeltaEngine:
         """Apply a sequence of events (update pairs are flattened).
 
         Consecutive events sharing one ``(relation, sign)`` are grouped and
-        dispatched as batches through :meth:`process_batch`.  ``batch_size``
-        caps the rows buffered per batch (default ``DEFAULT_BATCH_SIZE``,
-        keeping memory bounded on endless single-relation feeds); ``None``
-        leaves runs unbounded — only safe for finite streams.
+        dispatched as batches: one-row runs take the per-event trigger
+        directly, longer runs the columnar ``*_batch`` trigger.
+        ``batch_size`` caps the rows buffered per batch (default
+        ``DEFAULT_BATCH_SIZE``, keeping memory bounded on endless
+        single-relation feeds); ``None`` leaves runs unbounded — only safe
+        for finite streams.
 
         Returns the number of events *consumed from the stream*, which
         includes events the engine skipped because no standing query reads
@@ -275,8 +349,8 @@ class DeltaEngine:
         """
         count = 0
         for batch in batches(events, batch_size):
-            self.process_batch(batch.relation, batch.sign, batch.rows)
-            count += len(batch.rows)
+            self._process_batch(batch)
+            count += len(batch)
         return count
 
     def insert(self, relation: str, *values) -> None:
@@ -328,11 +402,30 @@ class DeltaEngine:
         """Read-only view of one internal map, for ad-hoc client queries."""
         return MappingProxyType(self.maps[name])
 
-    def map_sizes(self) -> dict[str, int]:
-        return {name: len(contents) for name, contents in self.maps.items()}
+    def index_sizes(self) -> dict[str, int]:
+        """Secondary-index entries currently held, per indexed map.
 
-    def total_entries(self) -> int:
-        return sum(len(contents) for contents in self.maps.values())
+        Compiled mode maintains one index dict per access pattern; their
+        entries are real memory the plain ``map_sizes`` view does not show.
+        Interpreted mode (and ``use_indexes=False``) holds none.
+        """
+        counter = getattr(self._executor, "index_entry_counts", None)
+        return counter() if counter is not None else {}
+
+    def map_sizes(self, include_indexes: bool = False) -> dict[str, int]:
+        """Entries per map; with ``include_indexes`` each map's count also
+        covers its secondary-index entries (the real memory footprint)."""
+        sizes = {name: len(contents) for name, contents in self.maps.items()}
+        if include_indexes:
+            for name, entries in self.index_sizes().items():
+                sizes[name] += entries
+        return sizes
+
+    def total_entries(self, include_indexes: bool = False) -> int:
+        total = sum(len(contents) for contents in self.maps.values())
+        if include_indexes:
+            total += sum(self.index_sizes().values())
+        return total
 
 
 # ---------------------------------------------------------------------------
@@ -340,16 +433,19 @@ class DeltaEngine:
 # ---------------------------------------------------------------------------
 
 
-def _shard_worker_main(conn, program, mode, use_indexes, optimize) -> None:
+def _shard_worker_main(
+    conn, program, mode, use_indexes, optimize, second_order
+) -> None:
     """One shard worker: a private :class:`DeltaEngine` fed over a pipe.
 
-    Batches apply fire-and-forget; the first trigger failure is remembered
-    and surfaced on the next ``sync``/``collect`` round-trip (subsequent
-    batches are dropped, as the shard state is no longer trustworthy).
+    Batches arrive columnar and apply fire-and-forget; the first trigger
+    failure is remembered and surfaced on the next ``sync``/``collect``
+    round-trip (subsequent batches are dropped, as the shard state is no
+    longer trustworthy).
     """
     engine = DeltaEngine(
         program, mode=mode, strict=False, use_indexes=use_indexes,
-        optimize=optimize,
+        optimize=optimize, second_order=second_order,
     )
     failure = None
     while True:
@@ -359,6 +455,16 @@ def _shard_worker_main(conn, program, mode, use_indexes, optimize) -> None:
             break
         op = message[0]
         if op == "batch":
+            if failure is None:
+                try:
+                    engine.process_batch_columns(
+                        message[1], message[2], message[3]
+                    )
+                except Exception as exc:  # surfaced on the next sync
+                    failure = f"{type(exc).__name__}: {exc}"
+        elif op == "rows":
+            # Small runs ship as row tuples: the lane transposes lazily
+            # (or takes the per-event path for a single row).
             if failure is None:
                 try:
                     engine.process_batch(message[1], message[2], message[3])
@@ -374,6 +480,11 @@ def _shard_worker_main(conn, program, mode, use_indexes, optimize) -> None:
                 conn.send(("error", failure))
             else:
                 conn.send(("maps", engine.maps, engine.events_processed))
+        elif op == "stats":
+            if failure is not None:
+                conn.send(("error", failure))
+            else:
+                conn.send(("stats", engine.index_sizes()))
         else:  # "stop"
             break
     conn.close()
@@ -382,19 +493,29 @@ def _shard_worker_main(conn, program, mode, use_indexes, optimize) -> None:
 class _ProcessLane:
     """Coordinator-side handle of one forked shard worker."""
 
-    def __init__(self, ctx, program, mode, use_indexes, optimize) -> None:
+    def __init__(
+        self, ctx, program, mode, use_indexes, optimize, second_order
+    ) -> None:
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_shard_worker_main,
-            args=(child, program, mode, use_indexes, optimize),
+            args=(child, program, mode, use_indexes, optimize, second_order),
             daemon=True,
         )
         self._proc.start()
         child.close()
 
-    def send_batch(self, relation: str, sign: int, rows: list) -> None:
+    def send_batch(self, relation: str, sign: int, columns: tuple) -> None:
         try:
-            self._conn.send(("batch", relation, sign, rows))
+            self._conn.send(("batch", relation, sign, columns))
+        except (BrokenPipeError, OSError) as exc:
+            raise EventError(
+                f"shard worker died (pid {self._pid()}): {exc}"
+            ) from exc
+
+    def send_rows(self, relation: str, sign: int, rows: list) -> None:
+        try:
+            self._conn.send(("rows", relation, sign, rows))
         except (BrokenPipeError, OSError) as exc:
             raise EventError(
                 f"shard worker died (pid {self._pid()}): {exc}"
@@ -426,6 +547,9 @@ class _ProcessLane:
     def collect_maps(self) -> dict[str, dict]:
         return self._round_trip(("collect",))[1]
 
+    def index_sizes(self) -> dict[str, int]:
+        return self._round_trip(("stats",))[1]
+
     def close(self) -> None:
         if self._proc is None:
             return
@@ -447,7 +571,10 @@ class _LocalLane:
     def __init__(self, engine: DeltaEngine) -> None:
         self.engine = engine
 
-    def send_batch(self, relation: str, sign: int, rows: list) -> None:
+    def send_batch(self, relation: str, sign: int, columns: tuple) -> None:
+        self.engine.process_batch_columns(relation, sign, columns)
+
+    def send_rows(self, relation: str, sign: int, rows: list) -> None:
         self.engine.process_batch(relation, sign, rows)
 
     def sync(self) -> None:
@@ -458,6 +585,9 @@ class _LocalLane:
 
     def collect_maps(self) -> dict[str, dict]:
         return self.engine.maps
+
+    def index_sizes(self) -> dict[str, int]:
+        return self.engine.index_sizes()
 
     def close(self) -> None:
         pass
@@ -519,6 +649,7 @@ class ShardedEngine:
         strict: bool = False,
         use_indexes: bool = True,
         optimize: bool = True,
+        second_order: bool = True,
         spec: Optional[PartitionSpec] = None,
     ) -> None:
         if shards < 1:
@@ -530,12 +661,13 @@ class ShardedEngine:
         self.strict = strict
         self.use_indexes = use_indexes
         self.optimize = optimize
+        self.second_order = second_order
         self.events_skipped = 0
         self._relations = {rel for rel, _ in program.triggers}
         self._stream_started = False
         self._serial = DeltaEngine(
             program, mode=mode, strict=False, use_indexes=use_indexes,
-            optimize=optimize,
+            optimize=optimize, second_order=second_order,
         )
         self.parallel = False
         self._closed = False
@@ -545,7 +677,10 @@ class ShardedEngine:
                 ctx = self._fork_context()
                 if ctx is not None:
                     self._lanes = [
-                        _ProcessLane(ctx, program, mode, use_indexes, optimize)
+                        _ProcessLane(
+                            ctx, program, mode, use_indexes, optimize,
+                            second_order,
+                        )
                         for _ in range(shards)
                     ]
                     self.parallel = True
@@ -558,6 +693,7 @@ class ShardedEngine:
                             strict=False,
                             use_indexes=use_indexes,
                             optimize=optimize,
+                            second_order=second_order,
                         )
                     )
                     for _ in range(shards)
@@ -581,16 +717,36 @@ class ShardedEngine:
     def process_batch(
         self, relation: str, sign: int, rows: Sequence[Sequence]
     ) -> int:
-        """Route one same-``(relation, sign)`` run to its lane(s).
-
-        Semantics match :meth:`DeltaEngine.process_batch`; the static-table
-        ordering rules are enforced here, globally, because lane-local
-        stream state is only a partial view.
-        """
-        self._check_open()
+        """Route one same-``(relation, sign)`` run to its lane(s)."""
         rows = rows if isinstance(rows, list) else list(rows)
         if not rows:
             return 0
+        return self._process_batch(EventBatch(relation, sign, rows))
+
+    def process_batch_columns(
+        self, relation: str, sign: int, columns: Sequence[Sequence]
+    ) -> int:
+        """Route one columnar batch to its lane(s) (see
+        :meth:`DeltaEngine.process_batch_columns`)."""
+        return self._process_batch(
+            EventBatch.from_columns(relation, sign, columns)
+        )
+
+    def _process_batch(self, batch: EventBatch) -> int:
+        """Route one batch.
+
+        Semantics match :meth:`DeltaEngine._process_batch`; the
+        static-table ordering rules are enforced here, globally, because
+        lane-local stream state is only a partial view.  The routing
+        column is hashed directly from its column list, and each lane
+        receives its slice still columnar; serial-lane batches flow
+        through untouched (one-row runs never transpose).
+        """
+        self._check_open()
+        count = len(batch)
+        if not count:
+            return 0
+        relation, sign = batch.relation, batch.sign
         if relation in self.program.static_relations:
             if self._stream_started:
                 raise EventError(
@@ -611,18 +767,33 @@ class ShardedEngine:
                     raise UnknownStreamError(
                         f"no standing query reads relation {relation!r}"
                     )
-                self.events_skipped += len(rows)
+                self.events_skipped += count
             return 0
         column = self.spec.column_for(relation)
         if column is None or not self._lanes:
-            self._serial.process_batch(relation, sign, rows)
-            return len(rows)
-        for shard, shard_rows in enumerate(
-            partition_rows(rows, column, len(self._lanes))
+            self._serial._process_batch(batch)
+            return count
+        if count == 1:
+            row = batch.row(0)
+            shard = hash(row[column]) % len(self._lanes)
+            self._lanes[shard].send_rows(relation, sign, [row])
+            return count
+        if count <= _ROW_ROUTE_THRESHOLD:
+            # Short runs: row-level hash routing is cheaper than building
+            # per-shard column gathers; each lane transposes its (tiny)
+            # slice lazily.
+            for shard, shard_rows in enumerate(
+                partition_rows(batch.rows, column, len(self._lanes))
+            ):
+                if shard_rows:
+                    self._lanes[shard].send_rows(relation, sign, shard_rows)
+            return count
+        for shard, shard_columns in enumerate(
+            partition_columns(batch.columns, column, len(self._lanes))
         ):
-            if shard_rows:
-                self._lanes[shard].send_batch(relation, sign, shard_rows)
-        return len(rows)
+            if shard_columns and shard_columns[0]:
+                self._lanes[shard].send_batch(relation, sign, shard_columns)
+        return count
 
     def process_stream(
         self, events: Iterable, batch_size: Optional[int] = DEFAULT_BATCH_SIZE
@@ -631,8 +802,8 @@ class ShardedEngine:
         :meth:`DeltaEngine.process_stream` for the contract)."""
         count = 0
         for batch in batches(events, batch_size):
-            self.process_batch(batch.relation, batch.sign, batch.rows)
-            count += len(batch.rows)
+            self._process_batch(batch)
+            count += len(batch)
         return count
 
     def insert(self, relation: str, *values) -> None:
@@ -705,14 +876,37 @@ class ShardedEngine:
         """Read-only merged view of one map, for ad-hoc client queries."""
         return MappingProxyType(self.merged_maps()[name])
 
-    def map_sizes(self) -> dict[str, int]:
-        return {
+    def index_sizes(self) -> dict[str, int]:
+        """Secondary-index entries summed across every lane.
+
+        Indexes are lane-local (each shard indexes its own key slice), so
+        the *sum* — not the merged-map view — is the real shard-local
+        memory footprint.  The per-lane stats round-trip drains each
+        worker's queued batches (pipe messages apply in order) and
+        surfaces remembered failures, so no separate sync is needed.
+        """
+        self._check_open()
+        totals = dict(self._serial.index_sizes())
+        for lane in self._lanes:
+            for name, entries in lane.index_sizes().items():
+                totals[name] = totals.get(name, 0) + entries
+        return totals
+
+    def map_sizes(self, include_indexes: bool = False) -> dict[str, int]:
+        sizes = {
             name: len(contents)
             for name, contents in self.merged_maps().items()
         }
+        if include_indexes:
+            for name, entries in self.index_sizes().items():
+                sizes[name] = sizes.get(name, 0) + entries
+        return sizes
 
-    def total_entries(self) -> int:
-        return sum(len(contents) for contents in self.merged_maps().values())
+    def total_entries(self, include_indexes: bool = False) -> int:
+        total = sum(len(contents) for contents in self.merged_maps().values())
+        if include_indexes:
+            total += sum(self.index_sizes().values())
+        return total
 
     # -- lifecycle ----------------------------------------------------------
 

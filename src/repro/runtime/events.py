@@ -9,14 +9,21 @@ Besides single events, the runtime supports *batched* delivery: a stream is
 grouped into :class:`EventBatch` runs of consecutive events sharing one
 ``(relation, sign)``, so the engine can dispatch each run with a single
 trigger call (see :meth:`repro.runtime.engine.DeltaEngine.process_batch`).
-Batches can additionally be *shard-routed*: :func:`partition_rows` splits a
-batch's rows by the hash of one column, the unit of parallel delta
-processing (see :class:`repro.runtime.engine.ShardedEngine`).
+
+A batch is stored *columnar* (struct-of-arrays): one parallel list per
+event column, in stream order.  The generated batch triggers iterate the
+column lists they actually read (skipping unused columns entirely) instead
+of unpacking row tuples, and shard routing hashes one column list directly.
+``EventBatch.rows`` materialises the row-tuple view for callers that want
+it.  Batches can additionally be *shard-routed*: :func:`partition_columns`
+(or the row-level :func:`partition_rows`) splits a batch by the hash of one
+column, the unit of parallel delta processing (see
+:class:`repro.runtime.engine.ShardedEngine`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import EventError
@@ -75,34 +82,104 @@ def flatten(events: Iterable) -> Iterator[StreamEvent]:
                 yield sub
 
 
-@dataclass
+def columns_from_rows(rows: Iterable[Sequence]) -> tuple[list, ...]:
+    """Transpose row tuples into the columnar (struct-of-arrays) layout."""
+    rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+    if not rows:
+        return ()
+    return tuple(map(list, zip(*rows)))
+
+
+def rows_from_columns(columns: Sequence[Sequence]) -> list[tuple]:
+    """Materialise the row-tuple view of a columnar batch."""
+    if not columns:
+        return []
+    return list(zip(*columns))
+
+
 class EventBatch:
     """A run of consecutive events sharing one ``(relation, sign)``.
 
-    ``rows`` holds the event value tuples in stream order.  A batch is the
-    unit of the engine's batched execution path: one generated trigger call
-    applies all rows, amortising per-event dispatch overhead.
+    The canonical execution layout is *columnar*: ``columns[i]`` is the
+    list of the ``i``-th event value across the batch, in stream order (a
+    struct-of-arrays).  The batch executors iterate exactly the column
+    lists they read, and shard routing hashes one column list directly.
+
+    A batch holds whichever representation it was built with (row tuples
+    from stream grouping, columns from a columnar producer) and
+    materialises the other on first access, caching the transpose — so
+    degenerate one-row runs dispatched through the per-event path never
+    pay for a transpose at all.
     """
 
-    relation: str
-    sign: int
-    rows: list = field(default_factory=list)
+    __slots__ = ("relation", "sign", "_rows", "_columns", "_length")
 
-    def __post_init__(self) -> None:
-        if self.sign not in (1, -1):
-            raise EventError(f"batch sign must be +1 or -1, got {self.sign!r}")
+    def __init__(self, relation: str, sign: int, rows: Iterable[Sequence] = ()):
+        if sign not in (1, -1):
+            raise EventError(f"batch sign must be +1 or -1, got {sign!r}")
+        self.relation = relation
+        self.sign = sign
+        rows = rows if isinstance(rows, list) else list(rows)
+        self._rows: Optional[list] = rows
+        self._columns: Optional[tuple[list, ...]] = None
+        self._length = len(rows)
+
+    @classmethod
+    def from_columns(
+        cls, relation: str, sign: int, columns: Sequence[Sequence]
+    ) -> "EventBatch":
+        """Adopt parallel column lists (all of one length) as a batch."""
+        batch = cls(relation, sign)
+        batch._rows = None
+        batch._columns = tuple(columns)
+        batch._length = len(batch._columns[0]) if batch._columns else 0
+        if any(len(column) != batch._length for column in batch._columns):
+            raise EventError(
+                f"ragged columnar batch for {relation!r}: column lengths "
+                f"{[len(column) for column in batch._columns]}"
+            )
+        return batch
+
+    @property
+    def columns(self) -> tuple[list, ...]:
+        """The struct-of-arrays view (cached transpose)."""
+        if self._columns is None:
+            self._columns = columns_from_rows(self._rows)
+        return self._columns
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The row-tuple view (cached transpose; do not mutate)."""
+        if self._rows is None:
+            self._rows = rows_from_columns(self._columns)
+        return self._rows
+
+    def row(self, index: int) -> tuple:
+        """One row as a tuple, from whichever representation is present."""
+        if self._rows is not None:
+            return tuple(self._rows[index])
+        return tuple(column[index] for column in self._columns)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EventBatch):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.sign == other.sign
+            and self.rows == other.rows
+        )
 
     def __iter__(self) -> Iterator[StreamEvent]:
         """The batch as its constituent events (keeps ``flatten`` uniform)."""
-        for row in self.rows:
-            yield StreamEvent(self.relation, self.sign, tuple(row))
+        for index in range(self._length):
+            yield StreamEvent(self.relation, self.sign, self.row(index))
 
     def __repr__(self) -> str:
         symbol = "+" if self.sign == 1 else "-"
-        return f"{symbol}{self.relation}[{len(self.rows)} rows]"
+        return f"{symbol}{self.relation}[{self._length} rows]"
 
 
 def partition_rows(
@@ -126,29 +203,58 @@ def partition_rows(
     return buckets
 
 
+def partition_columns(
+    columns: Sequence[Sequence], column: int, shards: int
+) -> list[tuple[list, ...]]:
+    """Hash-partition a columnar batch by one column, staying columnar.
+
+    The routing column is hashed directly from its own list (no row
+    reconstruction) into per-shard position selectors; every column is
+    then gathered per shard in one comprehension.  Stream order is
+    preserved within each shard — the columnar equivalent of
+    :func:`partition_rows`.
+    """
+    if shards < 1:
+        raise EventError(f"shard count must be >= 1, got {shards!r}")
+    if shards == 1:
+        return [tuple(list(col) for col in columns)]
+    selectors: list[list[int]] = [[] for _ in range(shards)]
+    for position, value in enumerate(columns[column]):
+        selectors[hash(value) % shards].append(position)
+    return [
+        tuple([col[i] for i in selector] for col in columns)
+        for selector in selectors
+    ]
+
+
 def batches(events: Iterable, batch_size: Optional[int] = None) -> Iterator[EventBatch]:
     """Group a stream into consecutive same-``(relation, sign)`` batches.
 
     Update pairs (and pre-existing batches) are flattened first, so the
     concatenation of the yielded batches replays the input stream exactly —
     batched execution therefore observes the same event order as per-event
-    execution.  ``batch_size`` caps the rows per batch (``None`` leaves runs
-    unbounded).
+    execution.  Column lists are built directly (no intermediate row list).
+    ``batch_size`` caps the rows per batch (``None`` leaves runs unbounded).
     """
     if batch_size is not None and batch_size < 1:
         raise EventError(f"batch_size must be >= 1, got {batch_size!r}")
-    current: Optional[EventBatch] = None
+    # Rows accumulate as tuples and transpose once per batch boundary:
+    # one append per event plus a single C-speed zip, rather than one
+    # append per column per event.
+    relation: Optional[str] = None
+    sign = 0
+    pending: list[tuple] = []
     for event in flatten(events):
         if (
-            current is not None
-            and event.relation == current.relation
-            and event.sign == current.sign
-            and (batch_size is None or len(current.rows) < batch_size)
+            pending
+            and event.relation == relation
+            and event.sign == sign
+            and (batch_size is None or len(pending) < batch_size)
         ):
-            current.rows.append(event.values)
+            pending.append(event.values)
             continue
-        if current is not None:
-            yield current
-        current = EventBatch(event.relation, event.sign, [event.values])
-    if current is not None:
-        yield current
+        if pending:
+            yield EventBatch(relation, sign, pending)
+        relation, sign, pending = event.relation, event.sign, [event.values]
+    if pending:
+        yield EventBatch(relation, sign, pending)

@@ -116,21 +116,24 @@ def sharded_batch_source(
     relation's partition column (``relation_columns``, typically
     ``PartitionSpec.relation_columns`` from
     :func:`repro.compiler.partition.analyze_partitioning`); relations
-    without a column yield ``(None, batch)``, the serial lane.  Rows keep
-    their stream order within every shard.
+    without a column yield ``(None, batch)``, the serial lane.  The split
+    stays columnar end to end (the routing column is hashed from its own
+    list) and rows keep their stream order within every shard.
     """
-    from repro.runtime.events import partition_rows
+    from repro.runtime.events import partition_columns
 
     for batch in batches(events, batch_size):
         column = relation_columns.get(batch.relation)
         if column is None:
             yield None, batch
             continue
-        for shard, rows in enumerate(
-            partition_rows(batch.rows, column, shards)
+        for shard, shard_columns in enumerate(
+            partition_columns(batch.columns, column, shards)
         ):
-            if rows:
-                yield shard, EventBatch(batch.relation, batch.sign, rows)
+            if shard_columns and shard_columns[0]:
+                yield shard, EventBatch.from_columns(
+                    batch.relation, batch.sign, shard_columns
+                )
 
 
 def csv_batch_source(

@@ -23,8 +23,10 @@ Usage examples::
 :class:`~repro.runtime.engine.ShardedEngine`: batches are hash-routed by
 the compiler's partition columns to N parallel lanes, with a serial
 fallback when the program is not partitionable.  ``--dump-ir`` prints the
-typed imperative IR all back ends share (see :mod:`repro.ir`); ``--no-opt``
-disables its optimisation pipeline (compile, run and bench).
+typed imperative IR all back ends share (see :mod:`repro.ir`), including
+the per-statement *batch sink* report (direct / buffered / accumulator /
+second-order) showing how each trigger absorbs batches; ``--no-opt``
+disables the optimisation pipeline (compile, run and bench).
 """
 
 from __future__ import annotations

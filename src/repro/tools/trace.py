@@ -81,8 +81,37 @@ def ir_summary(program: CompiledProgram, optimize: bool = True) -> str:
     ir = lower_program(program, optimize=optimize)
     stats = ir_stats(ir)
     passes = ", ".join(ir.passes) if ir.passes else "disabled"
+    sinks: dict[str, int] = {}
+    for report in ir.batch_sinks.values():
+        for _statement, sink in report:
+            sinks[sink] = sinks.get(sink, 0) + 1
+    sink_text = ", ".join(f"{n} {s}" for s, n in sorted(sinks.items()))
     return (
         f"IR: {stats['blocks']} statement blocks, {stats['loops']} map loops, "
         f"{stats['hoisted_temps']} hoisted temps across {stats['triggers']} "
-        f"triggers (passes: {passes})"
+        f"triggers (passes: {passes}; batch sinks: {sink_text or 'none'})"
     )
+
+
+def batch_sink_coverage(
+    program: CompiledProgram,
+    optimize: bool = True,
+    second_order: bool = True,
+) -> dict[str, dict[str, int]]:
+    """Per-trigger counts of each chosen batch sink.
+
+    The accumulation-coverage report: which triggers absorb batches through
+    first-order accumulation (``accumulator``/``direct``), which restate
+    order-2 targets (``second-order``), and which fall back to replaying
+    the per-event body (``per-row``/``buffered``).
+    """
+    from repro.ir import lower_program
+
+    ir = lower_program(program, optimize=optimize, second_order=second_order)
+    coverage: dict[str, dict[str, int]] = {}
+    for key, report in sorted(ir.batch_sinks.items()):
+        counts: dict[str, int] = {}
+        for _statement, sink in report:
+            counts[sink] = counts.get(sink, 0) + 1
+        coverage[program.triggers[key].name] = counts
+    return coverage

@@ -5,6 +5,7 @@ import pytest
 from repro.codegen.cppgen import generate_cpp
 from repro.codegen.pygen import CompiledExecutor, Emitter, generate_module, map_local
 from repro.compiler import compile_sql
+from repro.runtime.events import columns_from_rows
 from repro.sql.catalog import Catalog
 
 DDL = """
@@ -89,13 +90,15 @@ class TestPythonGeneration:
     def test_batch_variant_per_trigger(self, program):
         source = generate_module(program)
         for trigger in program.triggers.values():
-            assert f"def {trigger.name}_batch(__rows" in source
+            assert f"def {trigger.name}_batch(__cols" in source
 
-    def test_batch_variant_unpacks_rows_in_loop_header(self, program):
+    def test_batch_variant_iterates_column_lists(self, program):
+        """The batch row loop walks the columnar batch's parallel lists
+        (only the columns the body reads), not row tuples."""
         source = generate_module(program)
         trigger = program.trigger_for("R", 1)
         body = source.split(f"def {trigger.name}_batch")[1].split("\ndef ")[0]
-        assert f"for {', '.join(trigger.params)} in __rows:" in body
+        assert " in zip(__cols[" in body or " in __cols[" in body
 
     def test_batch_executor_matches_per_event(self, program):
         per_event = CompiledExecutor(program)
@@ -108,7 +111,7 @@ class TestPythonGeneration:
         rows = [(2, 10), (3, 10), (2, 10)]
         for row in rows:
             per_event.execute(trigger, row, maps_a)
-        batched.execute_batch(trigger, rows, maps_b)
+        batched.execute_batch(trigger, columns_from_rows(rows), maps_b)
         assert maps_a == maps_b
 
     def test_independent_trigger_accumulates_batch_delta(self, catalog):
@@ -120,9 +123,11 @@ class TestPythonGeneration:
         assert "__b0 = 0" in body
         assert "__b0 +=" in body
 
-    def test_self_reading_trigger_keeps_per_row_applies(self, catalog):
-        """vwap-style triggers read the maps they maintain, so each row must
-        see the previous row's writes — no batch-delta accumulation."""
+    def test_self_reading_trigger_restates_second_order(self, catalog):
+        """vwap-style triggers read the maps they maintain; the batch body
+        accumulates the first-order statements per row, then clears and
+        restates the order-2 targets once per batch (delta-of-delta
+        absorption) instead of re-running the full body per row."""
         program = compile_sql(
             "SELECT sum(b.volume) FROM bids b "
             "WHERE b.volume > 0.5 * (SELECT sum(b1.volume) FROM bids b1)",
@@ -130,7 +135,11 @@ class TestPythonGeneration:
         )
         source = generate_module(program)
         body = source.split("def on_insert_bids_batch")[1].split("\ndef ")[0]
-        assert "__b0" not in body
+        root = program.slot_maps["q"][0]
+        assert f"_m_{root}.clear()" in body
+        # The restate scan runs after (outside) the row loop: dedented one
+        # level relative to the accumulating row statements.
+        assert "    _m_" in body
 
 
 class TestCppGeneration:

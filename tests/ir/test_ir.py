@@ -85,7 +85,7 @@ class TestLowering:
                 if isinstance(s, ForEachRow)
             ]
             assert len(rows_loops) == 1
-            assert rows_loops[0].rows_var == "__rows"
+            assert rows_loops[0].rows_var == "__cols"
 
     def test_ir_is_cached_per_configuration(self, catalog):
         program = compile_sql(PAPER_SQL, catalog)
