@@ -26,6 +26,12 @@ finance triggers (vwap, mst) with the IR pass pipeline on vs off
 invariant hoisting and dead-binding pruning are exactly the rewrites
 those body-dominated triggers needed (batching alone left them at ~1x).
 
+The *storage ablation* table re-measures the finance slices with
+columnar map storage off (``DeltaEngine(columnar=False)``): its
+``storage-off/...`` metrics give the CI regression gate a dict-storage
+throughput floor that the columnar default's documented memory/CPU
+trade-off cannot mask (see docs/STORAGE.md).
+
 The *second-order batch-delta impact* section measures the self-reading
 triggers (vwap, mst) with the delta-of-delta batch sink on vs off: with
 it off they replay the per-event body per row (the pre-second-order batch
@@ -347,6 +353,22 @@ def main(argv=None) -> int:
         ))
         check_identical(warehouse)
         print()
+    # Storage ablation: the same finance slices with columnar map storage
+    # off (plain dicts).  Recorded under its own metric prefix so the CI
+    # regression gate keeps a *dict-storage* throughput floor — a future
+    # accidental slowdown cannot hide behind the deliberate, documented
+    # columnar memory/CPU trade-off (see docs/STORAGE.md).
+    nocol_queries = finance_queries or ["psp", "bsp"]
+    nocol_kwargs = dict(engine_kwargs or {})
+    nocol_kwargs["columnar"] = False
+    nocol = finance_states(
+        "dbtoaster", prefill, slice_size, nocol_queries, nocol_kwargs
+    )
+    record("storage-off", run_table(
+        f"storage ablation — dict maps (--no-columnar){opt_label}",
+        nocol, sizes, rounds,
+    ))
+
     impact_slice = slice_size if args.smoke else min(slice_size, 1_500)
     if not args.no_opt:
         ir_opt_impact(

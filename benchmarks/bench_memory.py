@@ -1,93 +1,218 @@
-"""E5 — memory usage (the Figure 4 memory readout).
+"""E5 — memory usage: per-entry map footprint, columnar vs dict storage.
 
-Two statements from the paper:
+Two layers of claims, both from the paper's "main-memory" premise:
 
-* "the memory consumption of our main-memory techniques is sufficiently
-  low to support applications such as data warehouse loading" — DBToaster's
-  aggregate maps stay small and bounded by distinct keys, while stream
-  engines materialise join state and re-evaluation holds the base tables;
-* joint compilation of integration + aggregation "may avoid the
-  materialization of large intermediate results" — measured directly as
-  maintained entries vs the ``lineorder`` rows the two-phase loader stores.
+* **storage layout** (the PR-5 experiment): maintained maps hold dense
+  numeric aggregate state, which Python's ``dict[tuple, number]`` layout
+  stores worst (a hash-table slot, a boxed key tuple and a boxed value
+  per entry).  The compiler's storage plan
+  (:mod:`repro.compiler.storage`) moves fixed-arity, typed-value maps
+  into packed :class:`~repro.runtime.storage.ColumnarMap` columns; this
+  benchmark measures the live bytes per maintained entry with columnar
+  storage on vs off (``DeltaEngine(columnar=...)``) and **fails** unless
+  at least two numeric-aggregate workloads show a >= 2x reduction.  Maps
+  are verified equal across the two runs first — the layout must never
+  change contents;
+* **state contrast** (the paper's Figure 4 reading): DBToaster's
+  aggregate maps stay bounded by distinct keys while an operator network
+  materialises join state and re-evaluation holds base tables — asserted
+  as entry-count facts against the bakeoff baselines.
 
-These are asserted as structural facts and benchmarked as state-snapshot
-accounting (cheap); the printed numbers feed EXPERIMENTS.md.
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_memory.py [--smoke]
+        [--events N] [--json PATH]
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.baselines import make_engine
-from repro.runtime.profiler import total_memory_bytes
-from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
-from repro.workloads.orderbook import OrderBookGenerator
+import argparse
+import sys
+from pathlib import Path
 
-EVENTS = 2_000
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
+from benchmarks.harness import bench_metadata, write_bench_json  # noqa: E402
 
-def _drive(kind: str, query: str):
-    catalog = finance_catalog()
-    engine = make_engine(kind, {query: FINANCE_QUERIES[query]}, catalog)
-    for event in OrderBookGenerator(seed=77).events(EVENTS):
-        engine.process(event)
-    return engine
+#: Numeric-aggregate workloads whose maintained state is dominated by
+#: keyed occurrence/aggregate maps — where packed columns pay off.  The
+#: acceptance target (>= 2x) must hold on at least two of them.
+TARGET_QUERIES = ("vwap", "mst", "axf")
 
+#: All measured finance queries (bsp/psp are scalar/tiny-keyed: they
+#: document where the plan keeps dicts and the ratio stays ~1x).
+MEASURED_QUERIES = ("vwap", "mst", "axf", "bsp", "psp")
 
-class TestStateContrast:
-    def test_psp_is_constant_state_for_dbtoaster(self):
-        """PriceSpread over the bid x ask cross product: DBToaster keeps a
-        handful of scalar aggregates; the operator network materialises the
-        books inside the join."""
-        compiled = _drive("dbtoaster", "psp")
-        network = _drive("streamops", "psp")
-        assert compiled.total_entries() <= 10
-        assert network.total_entries() > 20 * compiled.total_entries()
-
-    def test_grouped_queries_bounded_by_distinct_keys(self):
-        compiled = _drive("dbtoaster", "bsp")
-        # bsp state is keyed by broker (10 brokers): a few entries per map.
-        assert compiled.total_entries() < 100
-
-    def test_reeval_holds_base_tables(self):
-        reeval = _drive("reeval_lazy", "psp")
-        compiled = _drive("dbtoaster", "psp")
-        assert reeval.total_entries() > compiled.total_entries()
+MEMORY_RATIO_TARGET = 2.0
 
 
-def test_warehouse_avoids_lineorder(capsys):
-    """Joint compilation vs the two-phase loader's intermediate."""
-    from repro.compiler import compile_sql
+def measure_storage(query: str, events: list) -> dict:
+    """Drive one query twice (columnar on/off) and account its maps.
+
+    Returns the report row: live entries, total/per-entry bytes for both
+    layouts, the dict/columnar ratio, and the storage plan's labels.
+    """
+    from repro.compiler import analyze_storage, compile_sql
     from repro.runtime import DeltaEngine
-    from repro.workloads.ssb import (
-        SSB_Q41_COMBINED,
-        lineorder_rows,
-        load_static_tables,
-        ssb_catalog,
-        warehouse_stream,
+    from repro.runtime.profiler import map_memory_bytes
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+    totals = {}
+    engines = {}
+    for columnar in (True, False):
+        program = compile_sql(
+            FINANCE_QUERIES[query], finance_catalog(), name=query
+        )
+        engine = DeltaEngine(program, columnar=columnar)
+        engine.process_stream(events)
+        totals[columnar] = sum(map_memory_bytes(engine.maps).values())
+        engines[columnar] = engine
+    columnar_engine, dict_engine = engines[True], engines[False]
+    assert columnar_engine.maps == dict_engine.maps, (
+        f"{query}: columnar storage changed map contents"
     )
-    from repro.workloads.tpch import TpchGenerator
+    entries = max(columnar_engine.total_entries(), 1)
+    plan = analyze_storage(columnar_engine.program)
+    return {
+        "query": query,
+        "entries": entries,
+        "dict_bytes": totals[False],
+        "columnar_bytes": totals[True],
+        "dict_bytes_per_entry": totals[False] / entries,
+        "columnar_bytes_per_entry": totals[True] / entries,
+        "ratio": totals[False] / max(totals[True], 1),
+        "plan": {
+            name: storage.label for name, storage in plan.maps.items()
+        },
+    }
 
-    generator = TpchGenerator(sf=0.001, seed=1992)
-    program = compile_sql(SSB_Q41_COMBINED, ssb_catalog(), name="ssb41")
-    engine = DeltaEngine(program)
-    load_static_tables(engine, generator)
-    engine.process_stream(warehouse_stream(generator))
 
-    lineorder = sum(1 for _ in lineorder_rows(generator))
-    maintained = engine.total_entries()
-    print(
-        f"\nlineorder rows avoided: {lineorder:,}; "
-        f"maintained entries: {maintained:,}; "
-        f"live bytes: {total_memory_bytes(engine.maps):,}"
+def storage_table(event_count: int, seed: int = 5) -> dict[str, dict]:
+    """The storage-layout comparison rows for every measured query."""
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    events = list(OrderBookGenerator(seed=seed).events(event_count))
+    return {query: measure_storage(query, events) for query in MEASURED_QUERIES}
+
+
+def print_storage_table(rows: dict[str, dict]) -> None:
+    header = (
+        f"{'query':<8}{'entries':>10}{'dict B/e':>12}"
+        f"{'columnar B/e':>14}{'ratio':>8}"
     )
-    # The flat fact table is wide (7 columns x rows); the maintained state
-    # must not blow up beyond the same order.
-    assert maintained < 6 * lineorder
+    print("per-entry map memory — columnar vs dict storage")
+    print(header)
+    print("-" * len(header))
+    for query, row in rows.items():
+        print(
+            f"{query:<8}{row['entries']:>10,}"
+            f"{row['dict_bytes_per_entry']:>12,.1f}"
+            f"{row['columnar_bytes_per_entry']:>14,.1f}"
+            f"{row['ratio']:>7.2f}x"
+        )
+    print()
 
 
-@pytest.mark.parametrize("query", ["psp", "bsp", "axf"])
-def bench_memory_accounting(benchmark, query):
-    """Cost of a full state-size snapshot on a live engine."""
-    engine = _drive("dbtoaster", query)
-    result = benchmark(total_memory_bytes, engine.maps)
-    benchmark.extra_info["live_bytes"] = result
-    benchmark.extra_info["entries"] = engine.total_entries()
+def check_target(rows: dict[str, dict]) -> bool:
+    """The acceptance gate: >= 2x on at least two target workloads."""
+    passing = [
+        query
+        for query in TARGET_QUERIES
+        if rows[query]["ratio"] >= MEMORY_RATIO_TARGET
+    ]
+    ok = len(passing) >= 2
+    if ok:
+        print(
+            f"memory target met: {', '.join(passing)} show >= "
+            f"{MEMORY_RATIO_TARGET}x lower per-entry bytes with columnar "
+            "storage"
+        )
+    else:
+        print(
+            f"!! memory target MISSED: only {passing or 'none'} of "
+            f"{TARGET_QUERIES} reach {MEMORY_RATIO_TARGET}x"
+        )
+    print()
+    return ok
+
+
+def state_contrast(event_count: int) -> dict[str, int]:
+    """The paper's state-size contrast vs the bakeoff baselines."""
+    from repro.baselines import make_engine
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    def drive(kind: str, query: str):
+        engine = make_engine(
+            kind, {query: FINANCE_QUERIES[query]}, finance_catalog()
+        )
+        for event in OrderBookGenerator(seed=77).events(event_count):
+            engine.process(event)
+        return engine
+
+    facts = {
+        "dbtoaster/psp/entries": drive("dbtoaster", "psp").total_entries(),
+        "streamops/psp/entries": drive("streamops", "psp").total_entries(),
+        "reeval_lazy/psp/entries": drive("reeval_lazy", "psp").total_entries(),
+        "dbtoaster/bsp/entries": drive("dbtoaster", "bsp").total_entries(),
+    }
+    print("state contrast — maintained entries (the Figure 4 reading)")
+    for key, value in facts.items():
+        print(f"  {key}: {value:,}")
+    # The structural claims: constant DBToaster state on psp, join state
+    # materialised by the operator network, base tables held by re-eval.
+    assert facts["dbtoaster/psp/entries"] <= 10
+    assert facts["streamops/psp/entries"] > 20 * facts["dbtoaster/psp/entries"]
+    assert facts["reeval_lazy/psp/entries"] > facts["dbtoaster/psp/entries"]
+    assert facts["dbtoaster/bsp/entries"] < 100
+    print("  (structural claims hold)\n")
+    return facts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration (CI)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="order-book events to drive (default "
+                        "3000 smoke / 20000 full)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write metrics JSON (uploaded as a CI artifact)")
+    args = parser.parse_args(argv)
+
+    event_count = args.events or (3_000 if args.smoke else 20_000)
+    # The state-contrast claims need a settled order book: keep the E5
+    # event count fixed (it is cheap) whatever the storage run drives.
+    contrast_count = 2_000
+
+    rows = storage_table(event_count)
+    print_storage_table(rows)
+    ok = check_target(rows)
+    facts = state_contrast(contrast_count)
+
+    if args.json:
+        metrics: dict[str, float] = dict(facts)
+        for query, row in rows.items():
+            metrics[f"storage/{query}/ratio"] = row["ratio"]
+            metrics[f"storage/{query}/dict_bytes_per_entry"] = row[
+                "dict_bytes_per_entry"
+            ]
+            metrics[f"storage/{query}/columnar_bytes_per_entry"] = row[
+                "columnar_bytes_per_entry"
+            ]
+            metrics[f"storage/{query}/entries"] = row["entries"]
+        write_bench_json(
+            args.json, "memory", metrics,
+            metadata={
+                **bench_metadata(),
+                "events": event_count,
+                "ratio_target": MEMORY_RATIO_TARGET,
+                "target_queries": list(TARGET_QUERIES),
+                "plans": {q: rows[q]["plan"] for q in rows},
+            },
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,33 @@ materialised maps and the generated code, then feeds inserts and deletes and
 watches the standing result update incrementally.
 
 Run:  python examples/quickstart.py
+
+The same flow, in doctest form (CI runs ``python -m doctest`` on this
+file, so the session below is guaranteed accurate):
+
+>>> from repro import Catalog, DeltaEngine, compile_sql
+>>> catalog = Catalog.from_script(DDL)
+>>> engine = DeltaEngine(compile_sql(QUERY, catalog, name="q"))
+>>> engine.insert("R", 2, 10)
+>>> engine.insert("S", 10, 100)
+>>> engine.result_scalar()       # no complete join row yet
+0
+>>> engine.insert("T", 100, 7)   # completes the chain: 2 * 7
+>>> engine.result_scalar()
+14
+>>> engine.delete("R", 2, 10)    # deletions are strict negations
+>>> engine.result_scalar()
+0
+>>> engine.events_processed, engine.total_entries()
+(4, 3)
+
+Maps are stored per the compiler's storage plan (packed columnar
+columns for keyed maps, dicts for scalars — see docs/STORAGE.md):
+
+>>> from repro import analyze_storage
+>>> sorted(analyze_storage(engine.program).columnar_maps) == \
+sorted(n for n, c in engine.maps.items() if type(c) is not dict)
+True
 """
 
 from repro.codegen.pygen import generate_module

@@ -14,12 +14,15 @@ from repro.sql.catalog import Catalog
 from repro.compiler import (
     CompileOptions,
     PartitionSpec,
+    StoragePlan,
     analyze_partitioning,
+    analyze_storage,
     compile_queries,
     compile_sql,
 )
 from repro.algebra.translate import translate_sql
 from repro.runtime import (
+    ColumnarMap,
     DeltaEngine,
     EventBatch,
     ShardedEngine,
@@ -34,9 +37,12 @@ __version__ = "0.3.0"
 
 __all__ = [
     "Catalog",
+    "ColumnarMap",
     "CompileOptions",
     "PartitionSpec",
+    "StoragePlan",
     "analyze_partitioning",
+    "analyze_storage",
     "compile_queries",
     "compile_sql",
     "translate_sql",

@@ -135,6 +135,7 @@ def generate_module(
     use_indexes: bool = True,
     optimize: bool = True,
     second_order: bool = True,
+    columnar: bool = False,
 ) -> str:
     """Generate the full trigger module source for a compiled program.
 
@@ -145,14 +146,26 @@ def generate_module(
     lowering with the IR pass pipeline disabled (the ablation knob);
     ``second_order=False`` disables the delta-of-delta batch sink (the
     higher-order batching ablation).
+
+    With ``columnar`` the module is rendered for an engine whose maps
+    follow the compiler's storage plan: applies to columnar maps go
+    through their single-probe ``add()`` update instead of the dict
+    ``get``/``pop``/set sequence (halving hash/probe work per write).
+    The default renders storage-agnostic code that works on any mapping.
     """
     from repro.compiler.partition import analyze_partitioning
+    from repro.compiler.storage import analyze_storage
 
     ir = lower_program(program, optimize=optimize, second_order=second_order)
     indexes = (
         collect_patterns(program, optimize=optimize, second_order=second_order)
         if use_indexes
         else {}
+    )
+    columnar_maps = (
+        frozenset(analyze_storage(program).columnar_maps)
+        if columnar
+        else frozenset()
     )
     emitter = Emitter()
     emitter.line('"""Generated delta-processing triggers (do not edit).')
@@ -172,6 +185,18 @@ def generate_module(
     # here so the generated artifact documents its own parallelism.
     for line in analyze_partitioning(program).describe().splitlines():
         emitter.line(line)
+    emitter.line("")
+    # Storage plan: how the engine lays each map out in memory (packed
+    # columnar vs dict, see repro.compiler.storage); with columnar=False
+    # the rendered code is storage-agnostic (mapping protocol only),
+    # otherwise columnar applies use the single-probe add() update.
+    for line in analyze_storage(program).describe().splitlines():
+        emitter.line(line)
+    emitter.line(
+        "rendered for: "
+        + ("columnar storage (add() applies)" if columnar_maps
+           else "storage-agnostic (mapping protocol)")
+    )
     emitter.line('"""')
     emitter.blank()
     emitter.line("def _div(n, d):")
@@ -184,7 +209,12 @@ def generate_module(
     for key in sorted(program.triggers, key=lambda k: (k[0], -k[1])):
         trigger = program.triggers[key]
         _generate_trigger(
-            trigger, ir.triggers[key], ir.batch_triggers[key], emitter, indexes
+            trigger,
+            ir.triggers[key],
+            ir.batch_triggers[key],
+            emitter,
+            indexes,
+            columnar_maps,
         )
         emitter.blank()
     return emitter.source()
@@ -231,6 +261,7 @@ def _generate_trigger(
     batch: TriggerIR,
     emitter: Emitter,
     indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
+    columnar_maps: frozenset[str] = frozenset(),
 ) -> None:
     indexes = indexes or {}
     maps_used = _global_maps_used(per_event.body, batch.body)
@@ -240,7 +271,7 @@ def _generate_trigger(
         for pattern in sorted(indexes.get(name, ())):
             local = index_name(name, pattern)
             defaults.append(f"{local}=INDEXES[{local!r}]")
-    renderer = _PyRenderer(emitter, indexes)
+    renderer = _PyRenderer(emitter, indexes, columnar_maps)
     signature = ", ".join(params + defaults)
     emitter.line(f"def {trigger.name}({signature}):")
     with emitter.block():
@@ -259,13 +290,22 @@ def _generate_trigger(
 
 
 class _PyRenderer:
-    """Renders IR statements to Python source lines."""
+    """Renders IR statements to Python source lines.
+
+    ``columnar_maps`` names the maps the binding engine stores in
+    :class:`~repro.runtime.storage.ColumnarMap` columns — their applies
+    render as the storage's single-probe ``add()``.
+    """
 
     def __init__(
-        self, emitter: Emitter, indexes: dict[str, set[tuple[int, ...]]]
+        self,
+        emitter: Emitter,
+        indexes: dict[str, set[tuple[int, ...]]],
+        columnar_maps: frozenset[str] = frozenset(),
     ) -> None:
         self.emitter = emitter
         self.indexes = indexes
+        self.columnar_maps = columnar_maps
 
     # -- statements --------------------------------------------------------
 
@@ -462,7 +502,42 @@ class _PyRenderer:
         local = map_local(target)
         patterns = sorted(self.indexes.get(target, ()))
         cur = emitter.fresh("c")
+        if target in self.columnar_maps:
+            # Columnar storage: one probe does lookup, add and eviction.
+            if not patterns:
+                emitter.line(f"{local}.add({key_code}, {val_code})")
+                return
+            emitter.line(f"{cur} = {local}.add({key_code}, {val_code})")
+            self._emit_index_maintenance(
+                target, key_code, key_parts, patterns, cur,
+                map_updated=True,
+            )
+            return
         emitter.line(f"{cur} = {local}.get({key_code}, 0) + {val_code}")
+
+        self._emit_index_maintenance(
+            target, key_code, key_parts, patterns, cur, map_updated=False
+        )
+
+    def _emit_index_maintenance(
+        self,
+        target: str,
+        key_code: str,
+        key_parts: Optional[list[str]],
+        patterns: list[tuple[int, ...]],
+        cur: str,
+        map_updated: bool,
+    ) -> None:
+        """The evict-or-store branch over ``cur`` (the new ring value).
+
+        With ``map_updated`` the map write already happened (the columnar
+        ``add()`` path) and only the secondary indexes need maintaining —
+        callers only take that path when the map has index patterns, so
+        the emitted branches are never empty.
+        """
+        assert patterns or not map_updated
+        emitter = self.emitter
+        local = map_local(target)
 
         def subkey_code(pattern: tuple[int, ...]) -> str:
             if key_parts is not None:
@@ -475,7 +550,8 @@ class _PyRenderer:
 
         emitter.line(f"if {cur} == 0:")
         with emitter.block():
-            emitter.line(f"{local}.pop({key_code}, None)")
+            if not map_updated:
+                emitter.line(f"{local}.pop({key_code}, None)")
             for pattern in patterns:
                 idx = index_name(target, pattern)
                 bucket = emitter.fresh("b")
@@ -488,7 +564,8 @@ class _PyRenderer:
                         emitter.line(f"{idx}.pop({subkey_code(pattern)}, None)")
         emitter.line("else:")
         with emitter.block():
-            emitter.line(f"{local}[{key_code}] = {cur}")
+            if not map_updated:
+                emitter.line(f"{local}[{key_code}] = {cur}")
             for pattern in patterns:
                 idx = index_name(target, pattern)
                 emitter.line(
@@ -567,11 +644,17 @@ class CompiledExecutor:
         use_indexes: bool = True,
         optimize: bool = True,
         second_order: bool = True,
+        columnar: bool = False,
     ):
+        """``columnar=True`` renders applies for the engine's columnar map
+        storage (single-probe ``add()``); it must match the storage the
+        bound maps actually use — :class:`~repro.runtime.engine.DeltaEngine`
+        passes its own ``columnar`` flag through."""
         self.program = program
         self.use_indexes = use_indexes
         self.optimize = optimize
         self.second_order = second_order
+        self.columnar = columnar
         self._index_patterns = (
             collect_patterns(program, optimize=optimize, second_order=second_order)
             if use_indexes
@@ -582,6 +665,7 @@ class CompiledExecutor:
             use_indexes=use_indexes,
             optimize=optimize,
             second_order=second_order,
+            columnar=columnar,
         )
         self._functions: dict[tuple[str, int], object] = {}
         self._batch_functions: dict[tuple[str, int], object] = {}

@@ -18,15 +18,19 @@ from repro.compiler.program import (
 )
 from repro.compiler.compile import compile_queries, compile_sql
 from repro.compiler.partition import PartitionSpec, analyze_partitioning
+from repro.compiler.storage import MapStorage, StoragePlan, analyze_storage
 
 __all__ = [
     "CompiledProgram",
     "CompileOptions",
     "MapDef",
+    "MapStorage",
     "Statement",
+    "StoragePlan",
     "Trigger",
     "PartitionSpec",
     "analyze_partitioning",
+    "analyze_storage",
     "compile_queries",
     "compile_sql",
 ]

@@ -155,10 +155,16 @@ def compile_queries(
 
     from repro.sql.catalog import SqlType
 
-    float_relations = frozenset(
-        rel
+    float_columns = {
+        rel: frozenset(
+            position
+            for position, column in enumerate(catalog.get(rel).columns)
+            if column.type is SqlType.FLOAT
+        )
         for rel in all_relations
-        if any(c.type is SqlType.FLOAT for c in catalog.get(rel).columns)
+    }
+    float_relations = frozenset(
+        rel for rel, positions in float_columns.items() if positions
     )
     return CompiledProgram(
         queries=queries,
@@ -168,6 +174,11 @@ def compile_queries(
         options=options,
         static_relations=static_relations,
         float_relations=float_relations,
+        float_columns={
+            rel: positions
+            for rel, positions in float_columns.items()
+            if positions
+        },
     )
 
 

@@ -125,6 +125,10 @@ class CompiledProgram:
     #: non-integer ring values, which the partitioning analysis must keep
     #: off cross-shard summation (float addition is order-sensitive).
     float_relations: frozenset[str] = frozenset()
+    #: FLOAT column positions per relation (a refinement of
+    #: ``float_relations``): the storage analysis uses it to type variables
+    #: bound by base-relation atoms when proving map values always-float.
+    float_columns: dict[str, frozenset[int]] = field(default_factory=dict)
 
     def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
         return self.triggers.get((relation, sign))

@@ -1,0 +1,376 @@
+"""Storage-plan analysis: which maps can live in packed columnar storage.
+
+The paper's premise is that compiled delta programs win by keeping their
+maintained state resident and cheap to touch.  Python's default
+``dict[tuple, number]`` layout spends most of its bytes on boxing — a
+hash-table slot, a key tuple and a boxed ring value per entry — so the
+runtime offers a packed alternative
+(:class:`repro.runtime.storage.ColumnarMap`: one array per key position
+plus a packed value column behind the plain mapping protocol).  This
+module is the *compiler side* of that storage choice: a per-map type
+analysis, extending the exact-integer ring proofs the optimiser and the
+sharding analysis already rely on, that classifies every maintained map:
+
+* **key arity** — fixed by construction (every :class:`MapDef` declares
+  its canonical key tuple), which is what makes a struct-of-arrays
+  layout possible at all;
+* **value class** — ``int`` when the map's ring values are provably
+  exact integers (:func:`repro.ir.optimize.exact_value_maps`, plus
+  occurrence maps, whose values are tuple multiplicities whatever the
+  key columns hold), ``float`` when every monomial of the defining query
+  provably carries a float factor (a float literal, a division, a
+  variable bound to a FLOAT column, or a reference to an always-float
+  map — computed as a fixpoint), and ``object`` otherwise (the packed
+  key columns still apply; only the value column stays boxed).
+
+Scalar (zero-key) maps keep plain dict storage — there is nothing to
+pack.  The resulting :class:`StoragePlan` is pure compiler metadata:
+engines construct their map storage from it, ``ir/lower`` stamps it on
+the lowered map declarations (``compile --dump-ir``), and the code
+generator records it in the generated-module header.
+
+The plan is a *hint*, not a soundness obligation: the runtime map
+promotes any column to boxed storage before storing a value the packed
+representation could not round-trip exactly, so maps stay bit-identical
+to dict storage even where the proofs are conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expr import (
+    Add,
+    AggSum,
+    Const,
+    Div,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+    walk,
+)
+from repro.algebra.simplify import monomials
+from repro.compiler.program import CompiledProgram
+
+#: value-class -> ColumnarMap value-column kind.
+_VALUE_KINDS = {"int": "q", "float": "d", "object": "o"}
+
+
+@dataclass(frozen=True)
+class MapStorage:
+    """The storage decision for one maintained map."""
+
+    name: str
+    kind: str  # "columnar" | "dict"
+    value_class: str  # "int" | "float" | "object" (columnar) | "any" (dict)
+    arity: int
+    reason: str
+
+    @property
+    def columnar(self) -> bool:
+        return self.kind == "columnar"
+
+    @property
+    def label(self) -> str:
+        """Compact tag for IR dumps and generated-module headers."""
+        if not self.columnar:
+            return "dict"
+        return f"columnar[{self.value_class}]"
+
+    def create(self):
+        """Fresh empty storage for this map."""
+        if not self.columnar:
+            return {}
+        from repro.runtime.storage import ColumnarMap
+
+        return ColumnarMap(self.arity, _VALUE_KINDS[self.value_class])
+
+
+@dataclass(frozen=True)
+class StoragePlan:
+    """The per-map storage plan of one compiled program."""
+
+    maps: dict[str, MapStorage]
+
+    def storage_for(self, name: str) -> MapStorage:
+        return self.maps[name]
+
+    def create(self, name: str):
+        """Fresh empty storage for one map."""
+        return self.maps[name].create()
+
+    def create_maps(self) -> dict:
+        """Fresh storage for every map (what engines construct from)."""
+        return {name: storage.create() for name, storage in self.maps.items()}
+
+    @property
+    def columnar_maps(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(name for name, s in self.maps.items() if s.columnar)
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary (compile trace / generated header)."""
+        lines = ["== storage plan =="]
+        for name in sorted(self.maps):
+            storage = self.maps[name]
+            lines.append(
+                f"map {name}: {storage.label} ({storage.reason})"
+            )
+        return "\n".join(lines)
+
+
+def _float_capable_vars(defn: Expr, program: CompiledProgram) -> frozenset[str]:
+    """Variables that *may* carry FLOAT column values.
+
+    The complement of this set is integer-typed: every base-relation atom
+    binding such a variable does so at a non-FLOAT column.
+    """
+    float_positions = program.float_columns
+    out: set[str] = set()
+    for node in walk(defn):
+        if not isinstance(node, Rel):
+            continue
+        floats = float_positions.get(node.name, frozenset())
+        for position in floats:
+            arg = node.args[position]
+            if isinstance(arg, Var):
+                out.add(arg.name)
+    return frozenset(out)
+
+
+def _int_factor(
+    factor: Expr, float_capable: frozenset[str], int_maps: frozenset[str]
+) -> bool:
+    """Whether this value-position factor is provably an exact integer.
+
+    Comparisons, lifts, EXISTS tests and relation atoms always are
+    (0/1 values and tuple multiplicities); constants, variables and map
+    references are checked, divisions never qualify.
+    """
+    from repro.algebra.expr import Cmp, Exists, Lift
+
+    if isinstance(factor, (Cmp, Exists, Lift, Rel)):
+        return True
+    if isinstance(factor, Const):
+        return isinstance(factor.value, int)
+    if isinstance(factor, Var):
+        return factor.name not in float_capable
+    if isinstance(factor, MapRef):
+        return factor.name in int_maps
+    if isinstance(factor, Neg):
+        return _int_factor(factor.body, float_capable, int_maps)
+    if isinstance(factor, (Mul, Add)):
+        return all(
+            _int_factor(child, float_capable, int_maps)
+            for child in factor.children()
+        )
+    if isinstance(factor, AggSum):
+        return _always_int_body(factor.body, float_capable, int_maps)
+    return False
+
+
+def _always_int_body(
+    body: Expr, float_capable: frozenset[str], int_maps: frozenset[str]
+) -> bool:
+    """True when every monomial of ``body`` is built from int factors."""
+    try:
+        expanded = monomials(body)
+    except Exception:
+        return False
+    for coeff, factors in expanded:
+        if isinstance(coeff, float):
+            return False
+        if not all(
+            _int_factor(factor, float_capable, int_maps)
+            for factor in factors
+        ):
+            return False
+    return True
+
+
+def _always_int(
+    map_def, program: CompiledProgram, int_maps: frozenset[str]
+) -> bool:
+    """Whether every ring value of the map is provably an exact integer.
+
+    Sharper than :func:`repro.ir.optimize.exact_value_maps` (which
+    excludes any map whose definition *touches* a FLOAT relation): here a
+    FLOAT column only taints the maps whose value position actually
+    carries it, so group-by ``count`` slots over float streams still
+    prove integer.  Used for storage planning only — the optimiser's
+    reorder gates keep the conservative proof.
+    """
+    defn = map_def.defn
+    body = defn.body if isinstance(defn, AggSum) else defn
+    float_capable = _float_capable_vars(defn, program)
+    return _always_int_body(body, float_capable, int_maps)
+
+
+def _float_typed_vars(defn: Expr, program: CompiledProgram) -> frozenset[str]:
+    """Variables provably bound to FLOAT column values.
+
+    A variable qualifies when every base-relation atom binding it does so
+    at a FLOAT column position (a variable equated across a FLOAT and an
+    INT column may carry the int side's value, so it is dropped).
+    """
+    float_positions = program.float_columns
+    candidates: set[str] = set()
+    demoted: set[str] = set()
+    for node in walk(defn):
+        if not isinstance(node, Rel):
+            continue
+        floats = float_positions.get(node.name, frozenset())
+        for position, arg in enumerate(node.args):
+            if not isinstance(arg, Var):
+                continue
+            if position in floats:
+                candidates.add(arg.name)
+            else:
+                demoted.add(arg.name)
+    return frozenset(candidates - demoted)
+
+
+def _float_factor(
+    factor: Expr, float_vars: frozenset[str], float_maps: frozenset[str]
+) -> bool:
+    """Whether this value-position factor is provably a float.
+
+    Comparisons, lifts, EXISTS and relation atoms yield 0/1/multiplicity
+    integers and never qualify; the proof only fires on float literals,
+    divisions, FLOAT-column variables and always-float map references.
+    """
+    if isinstance(factor, Div):
+        return True
+    if isinstance(factor, Const):
+        return isinstance(factor.value, float)
+    if isinstance(factor, Var):
+        return factor.name in float_vars
+    if isinstance(factor, MapRef):
+        return factor.name in float_maps
+    if isinstance(factor, Neg):
+        return _float_factor(factor.body, float_vars, float_maps)
+    if isinstance(factor, Mul):
+        return any(
+            _float_factor(child, float_vars, float_maps)
+            for child in factor.factors
+        )
+    if isinstance(factor, Add):
+        return all(
+            _float_factor(term, float_vars, float_maps)
+            for term in factor.terms
+        )
+    if isinstance(factor, AggSum):
+        return _always_float_body(factor.body, float_vars, float_maps)
+    return False
+
+
+def _always_float_body(
+    body: Expr, float_vars: frozenset[str], float_maps: frozenset[str]
+) -> bool:
+    """True when every monomial of ``body`` carries a float factor."""
+    try:
+        expanded = monomials(body)
+    except Exception:
+        return False
+    if not expanded:
+        return False  # identically zero: nothing to type
+    for coeff, factors in expanded:
+        if isinstance(coeff, float):
+            continue
+        if not any(
+            _float_factor(factor, float_vars, float_maps)
+            for factor in factors
+        ):
+            return False
+    return True
+
+
+def _always_float(
+    map_def, program: CompiledProgram, float_maps: frozenset[str]
+) -> bool:
+    """Whether every ring value of the map is provably a Python float."""
+    defn = map_def.defn
+    body = defn.body if isinstance(defn, AggSum) else defn
+    float_vars = _float_typed_vars(defn, program)
+    return _always_float_body(body, float_vars, float_maps)
+
+
+def analyze_storage(program: CompiledProgram) -> StoragePlan:
+    """Compute (and memoise) the storage plan for a compiled program.
+
+    Like the partitioning spec, the plan is a pure function of the
+    immutable-after-compile program, so it is cached on the program
+    object — the engine, the lowering, the code generator and the CLI
+    all share one analysis.
+    """
+    cached = getattr(program, "_storage_plan", None)
+    if cached is not None:
+        return cached
+    plan = _analyze_storage(program)
+    program._storage_plan = plan
+    return plan
+
+
+def _analyze_storage(program: CompiledProgram) -> StoragePlan:
+    from repro.ir.optimize import exact_value_maps
+
+    # Int fixpoint, seeded with the optimiser's exact-integer proof and
+    # the occurrence maps (their values are tuple multiplicities whatever
+    # the key columns hold), then widened by the per-value-position proof
+    # above; map references resolve against the previous round's verdicts.
+    int_maps: set[str] = set(exact_value_maps(program))
+    int_maps.update(
+        name
+        for name, map_def in program.maps.items()
+        if map_def.role == "occurrence"
+    )
+    changed = True
+    while changed:
+        changed = False
+        for name, map_def in program.maps.items():
+            if name in int_maps:
+                continue
+            if _always_int(map_def, program, frozenset(int_maps)):
+                int_maps.add(name)
+                changed = True
+
+    # Float fixpoint over the remainder: a map whose every defining
+    # monomial carries a float factor is always-float.
+    float_maps: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, map_def in program.maps.items():
+            if name in int_maps or name in float_maps:
+                continue
+            if _always_float(map_def, program, frozenset(float_maps)):
+                float_maps.add(name)
+                changed = True
+
+    decisions: dict[str, MapStorage] = {}
+    for name, map_def in program.maps.items():
+        arity = map_def.arity
+        if arity == 0:
+            decisions[name] = MapStorage(
+                name, "dict", "any", 0, "scalar map: nothing to pack"
+            )
+        elif name in int_maps:
+            decisions[name] = MapStorage(
+                name, "columnar", "int", arity,
+                "exact-integer ring proof",
+            )
+        elif name in float_maps:
+            decisions[name] = MapStorage(
+                name, "columnar", "float", arity,
+                "every defining monomial carries a float factor",
+            )
+        else:
+            decisions[name] = MapStorage(
+                name, "columnar", "object", arity,
+                "packed keys, boxed values (value type unproven)",
+            )
+    return StoragePlan(maps=decisions)

@@ -176,11 +176,15 @@ def run_stmt(
         storage = _storage(stmt.slot, env, maps)
         key = tuple(_eval(k, env, maps, entry) for k in stmt.keys)
         value = _eval(stmt.value, env, maps, entry)
-        current = storage.get(key, 0) + value
-        if stmt.evict and current == 0:
-            storage.pop(key, None)
+        if stmt.evict and type(storage) is not dict:
+            # Columnar storage applies lookup+add+evict in one probe.
+            storage.add(key, value)
         else:
-            storage[key] = current
+            current = storage.get(key, 0) + value
+            if stmt.evict and current == 0:
+                storage.pop(key, None)
+            else:
+                storage[key] = current
         if recorder is not None and not stmt.slot.local:
             recorder.record(stmt.slot.name, key, value)
         return
@@ -196,6 +200,10 @@ def run_stmt(
         return
     if isinstance(stmt, FlushBuffer):
         storage = _storage(stmt.target, env, maps)
+        if type(storage) is not dict:
+            for key, value in env[stmt.name]:
+                storage.add(key, value)
+            return
         for key, value in env[stmt.name]:
             current = storage.get(key, 0) + value
             if current == 0:
@@ -210,6 +218,10 @@ def run_stmt(
         target = _storage(stmt.target, env, maps)
         source = _storage(stmt.source, env, maps)
         recording = recorder is not None and not stmt.target.local
+        if type(target) is not dict and not recording:
+            for key, value in source.items():
+                target.add(key, value)
+            return
         for key, value in source.items():
             current = target.get(key, 0) + value
             if current == 0:

@@ -833,6 +833,7 @@ def lower_program(
     the same ``(optimize, passes, second_order)`` configuration shares one
     ProgramIR.
     """
+    from repro.compiler.storage import analyze_storage
     from repro.ir.optimize import DEFAULT_PASSES, optimize_program
 
     if passes is not None:
@@ -844,6 +845,7 @@ def lower_program(
     if cached is not None:
         return cached
 
+    storage_plan = analyze_storage(program)
     maps = {
         name: MapDecl(
             name=name,
@@ -851,6 +853,7 @@ def lower_program(
             keys=map_def.keys,
             role=map_def.role,
             defn=repr(map_def.defn),
+            storage=storage_plan.storage_for(name).label,
         )
         for name, map_def in program.maps.items()
     }

@@ -325,13 +325,20 @@ class Block(IRStmt):
 
 @dataclass(frozen=True, slots=True)
 class MapDecl(IRStmt):
-    """One maintained map: name, key arity and provenance."""
+    """One maintained map: name, key arity, provenance and storage.
+
+    ``storage`` is the compiler's storage-plan label for the map
+    (``dict`` or ``columnar[int|float|object]``, see
+    :mod:`repro.compiler.storage`) — stamped here so every IR dump
+    documents how the runtime will lay the map out in memory.
+    """
 
     name: str
     arity: int
     keys: tuple[str, ...]
     role: str
     defn: str  # repr of the defining calculus query
+    storage: str = "dict"
 
 
 @dataclass

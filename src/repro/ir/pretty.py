@@ -160,7 +160,10 @@ def program_str(ir: ProgramIR) -> str:
     lines = ["== IR maps =="]
     for decl in ir.maps.values():
         role = f" ({decl.role})" if decl.role != "derived" else ""
-        lines.append(f"{decl.name}[{','.join(decl.keys)}]{role} := {decl.defn}")
+        lines.append(
+            f"{decl.name}[{','.join(decl.keys)}]{role} "
+            f"<{decl.storage}> := {decl.defn}"
+        )
     lines.append("")
     lines.append(
         "== IR passes ==\n" + (", ".join(ir.passes) if ir.passes else "(none)")

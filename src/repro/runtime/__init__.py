@@ -29,9 +29,11 @@ from repro.runtime.events import (
     update,
 )
 from repro.runtime.engine import DeltaEngine, ShardedEngine
+from repro.runtime.storage import ColumnarMap
 from repro.runtime.views import query_results, result_rows_to_dicts
 
 __all__ = [
+    "ColumnarMap",
     "EventBatch",
     "StreamEvent",
     "batches",

@@ -46,6 +46,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 from repro.errors import EventError, UnknownStreamError
 from repro.compiler.partition import PartitionSpec, analyze_partitioning
 from repro.compiler.program import CompiledProgram, Trigger
+from repro.compiler.storage import analyze_storage
 from repro.runtime.events import (
     EventBatch,
     StreamEvent,
@@ -133,7 +134,26 @@ class InterpretedExecutor:
 
 
 class DeltaEngine:
-    """A standing-query engine over a compiled delta program."""
+    """A standing-query engine over a compiled delta program.
+
+    The engine owns one storage object per maintained map and dispatches
+    stream events to the trigger executor (generated Python functions in
+    ``mode="compiled"``, the IR tree-walker in ``mode="interpreted"``).
+    Typical embedded use::
+
+        engine = DeltaEngine(compile_sql(query, catalog))
+        engine.insert("bids", 1, 7, 100, 50)   # one event
+        engine.process_stream(events)           # a whole (batched) feed
+        engine.results()                        # current standing rows
+
+    Map storage follows the compiler's storage plan
+    (:func:`repro.compiler.storage.analyze_storage`): keyed maps with
+    proven value types live in packed
+    :class:`~repro.runtime.storage.ColumnarMap` columns, scalar maps in
+    plain dicts.  ``columnar=False`` forces dict storage for every map
+    (the storage ablation, the CLI's ``--no-columnar``); contents are
+    bit-identical either way.
+    """
 
     def __init__(
         self,
@@ -144,6 +164,7 @@ class DeltaEngine:
         use_indexes: bool = True,
         optimize: bool = True,
         second_order: bool = True,
+        columnar: bool = True,
     ) -> None:
         """``strict=True`` raises on events for relations no standing query
         reads; the default silently skips them (a feed usually carries more
@@ -154,9 +175,15 @@ class DeltaEngine:
         ablation, also the bench harness's ``--no-opt``);
         ``second_order=False`` disables the delta-of-delta batch sink, so
         self-reading triggers fall back to the per-row batch loop (the
-        higher-order batching ablation)."""
+        higher-order batching ablation); ``columnar=False`` disables
+        packed columnar map storage, keeping every map a plain dict (the
+        storage ablation, also the CLI's ``--no-columnar``)."""
         self.program = program
-        self.maps: dict[str, dict] = {name: {} for name in program.maps}
+        self.columnar = columnar
+        if columnar:
+            self.maps: dict[str, dict] = analyze_storage(program).create_maps()
+        else:
+            self.maps = {name: {} for name in program.maps}
         self.profiler = profiler
         self.events_processed = 0
         self.use_indexes = use_indexes
@@ -171,6 +198,7 @@ class DeltaEngine:
                 use_indexes=use_indexes,
                 optimize=optimize,
                 second_order=second_order,
+                columnar=columnar,
             )
         elif mode == "interpreted":
             self._executor = InterpretedExecutor(
@@ -200,9 +228,15 @@ class DeltaEngine:
             use_indexes=self.use_indexes,
             optimize=self.optimize,
             second_order=self.second_order,
+            columnar=self.columnar,
         )
         clone.maps.update(
-            {name: dict(contents) for name, contents in self.maps.items()}
+            {
+                # dict.copy / ColumnarMap.copy both preserve the storage
+                # layout and insertion order of the snapshot.
+                name: contents.copy()
+                for name, contents in self.maps.items()
+            }
         )
         if self.mode == "compiled":
             clone._executor.bind(clone.maps)
@@ -434,7 +468,7 @@ class DeltaEngine:
 
 
 def _shard_worker_main(
-    conn, program, mode, use_indexes, optimize, second_order
+    conn, program, mode, use_indexes, optimize, second_order, columnar
 ) -> None:
     """One shard worker: a private :class:`DeltaEngine` fed over a pipe.
 
@@ -445,7 +479,7 @@ def _shard_worker_main(
     """
     engine = DeltaEngine(
         program, mode=mode, strict=False, use_indexes=use_indexes,
-        optimize=optimize, second_order=second_order,
+        optimize=optimize, second_order=second_order, columnar=columnar,
     )
     failure = None
     while True:
@@ -494,12 +528,16 @@ class _ProcessLane:
     """Coordinator-side handle of one forked shard worker."""
 
     def __init__(
-        self, ctx, program, mode, use_indexes, optimize, second_order
+        self, ctx, program, mode, use_indexes, optimize, second_order,
+        columnar,
     ) -> None:
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_shard_worker_main,
-            args=(child, program, mode, use_indexes, optimize, second_order),
+            args=(
+                child, program, mode, use_indexes, optimize, second_order,
+                columnar,
+            ),
             daemon=True,
         )
         self._proc.start()
@@ -650,6 +688,7 @@ class ShardedEngine:
         use_indexes: bool = True,
         optimize: bool = True,
         second_order: bool = True,
+        columnar: bool = True,
         spec: Optional[PartitionSpec] = None,
     ) -> None:
         if shards < 1:
@@ -662,12 +701,13 @@ class ShardedEngine:
         self.use_indexes = use_indexes
         self.optimize = optimize
         self.second_order = second_order
+        self.columnar = columnar
         self.events_skipped = 0
         self._relations = {rel for rel, _ in program.triggers}
         self._stream_started = False
         self._serial = DeltaEngine(
             program, mode=mode, strict=False, use_indexes=use_indexes,
-            optimize=optimize, second_order=second_order,
+            optimize=optimize, second_order=second_order, columnar=columnar,
         )
         self.parallel = False
         self._closed = False
@@ -679,7 +719,7 @@ class ShardedEngine:
                     self._lanes = [
                         _ProcessLane(
                             ctx, program, mode, use_indexes, optimize,
-                            second_order,
+                            second_order, columnar,
                         )
                         for _ in range(shards)
                     ]
@@ -694,6 +734,7 @@ class ShardedEngine:
                             use_indexes=use_indexes,
                             optimize=optimize,
                             second_order=second_order,
+                            columnar=columnar,
                         )
                     )
                     for _ in range(shards)

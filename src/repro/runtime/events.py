@@ -110,6 +110,14 @@ class EventBatch:
     materialises the other on first access, caching the transpose — so
     degenerate one-row runs dispatched through the per-event path never
     pay for a transpose at all.
+
+    >>> batch = EventBatch("bids", 1, [(1, 10), (2, 20)])
+    >>> batch.columns
+    ([1, 2], [10, 20])
+    >>> EventBatch.from_columns("bids", 1, ([1, 2], [10, 20])).rows
+    [(1, 10), (2, 20)]
+    >>> len(batch), batch.row(1)
+    (2, (2, 20))
     """
 
     __slots__ = ("relation", "sign", "_rows", "_columns", "_length")
@@ -235,6 +243,11 @@ def batches(events: Iterable, batch_size: Optional[int] = None) -> Iterator[Even
     batched execution therefore observes the same event order as per-event
     execution.  Column lists are built directly (no intermediate row list).
     ``batch_size`` caps the rows per batch (``None`` leaves runs unbounded).
+
+    >>> list(batches([insert("R", 1), insert("R", 2), delete("R", 1)]))
+    [+R[2 rows], -R[1 rows]]
+    >>> list(batches([*update("R", (1,), (2,))]))
+    [-R[1 rows], +R[1 rows]]
     """
     if batch_size is not None and batch_size < 1:
         raise EventError(f"batch_size must be >= 1, got {batch_size!r}")

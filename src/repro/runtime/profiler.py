@@ -55,9 +55,19 @@ class Profiler:
 
 
 def map_memory_bytes(maps: Mapping[str, Mapping]) -> dict[str, int]:
-    """Approximate live bytes per map (keys + values + dict overhead)."""
+    """Approximate live bytes per map (keys + values + container overhead).
+
+    Dict-backed maps sum the table plus each boxed key tuple, its parts
+    and the boxed value; storage objects exposing ``storage_bytes()``
+    (:class:`repro.runtime.storage.ColumnarMap`) report their packed
+    columns the same way, so dict-vs-columnar numbers are comparable.
+    """
     sizes: dict[str, int] = {}
     for name, contents in maps.items():
+        measure = getattr(contents, "storage_bytes", None)
+        if measure is not None:
+            sizes[name] = measure()
+            continue
         total = sys.getsizeof(contents)
         for key, value in contents.items():
             total += sys.getsizeof(key) + sys.getsizeof(value)

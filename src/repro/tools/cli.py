@@ -25,8 +25,12 @@ the compiler's partition columns to N parallel lanes, with a serial
 fallback when the program is not partitionable.  ``--dump-ir`` prints the
 typed imperative IR all back ends share (see :mod:`repro.ir`), including
 the per-statement *batch sink* report (direct / buffered / accumulator /
-second-order) showing how each trigger absorbs batches; ``--no-opt``
-disables the optimisation pipeline (compile, run and bench).
+second-order) showing how each trigger absorbs batches and the per-map
+storage plan (``columnar[int|float|object]`` / ``dict``, see
+:mod:`repro.compiler.storage`); ``--no-opt`` disables the optimisation
+pipeline (compile, run and bench); ``--no-columnar`` (run/bench) keeps
+every maintained map in plain dict storage — the memory-vs-CPU storage
+ablation (`benchmarks/bench_memory.py` measures it).
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ from pathlib import Path
 
 from repro.codegen.cppgen import generate_cpp
 from repro.codegen.pygen import generate_module
-from repro.compiler import analyze_partitioning, compile_sql
+from repro.compiler import analyze_partitioning, analyze_storage, compile_sql
 from repro.runtime import DeltaEngine, ShardedEngine
 from repro.runtime.sources import csv_source
 from repro.sql.catalog import Catalog
@@ -52,12 +56,15 @@ def _make_engine(program, args):
     is available; non-partitionable programs fall back to serial)."""
     shards = getattr(args, "shards", 1) or 1
     optimize = not getattr(args, "no_opt", False)
+    columnar = not getattr(args, "no_columnar", False)
     if shards > 1:
         return ShardedEngine(
             program, shards=shards, mode=args.mode, parallel=True,
-            optimize=optimize,
+            optimize=optimize, columnar=columnar,
         )
-    return DeltaEngine(program, mode=args.mode, optimize=optimize)
+    return DeltaEngine(
+        program, mode=args.mode, optimize=optimize, columnar=columnar
+    )
 
 
 def _load_catalog(args) -> Catalog:
@@ -74,6 +81,7 @@ def cmd_compile(args) -> int:
     optimize = not args.no_opt
     print(program.describe())
     print(analyze_partitioning(program).describe())
+    print(analyze_storage(program).describe())
     print(ir_summary(program, optimize=optimize))
     print()
     print("== Figure 2 trace ==\n")
@@ -213,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "(1 = single engine)")
     p_run.add_argument("--no-opt", action="store_true",
                        help="disable the IR optimisation pipeline")
+    p_run.add_argument("--no-columnar", action="store_true",
+                       help="keep every maintained map in plain dict "
+                       "storage (the storage ablation)")
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser("bench", help="built-in workload throughput")
@@ -230,6 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(1 = single engine)")
     p_bench.add_argument("--no-opt", action="store_true",
                          help="disable the IR optimisation pipeline")
+    p_bench.add_argument("--no-columnar", action="store_true",
+                         help="keep every maintained map in plain dict "
+                         "storage (the storage ablation)")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -1,0 +1,75 @@
+"""Documentation integrity: every internal link must resolve.
+
+Scans ``README.md`` and everything under ``docs/`` for markdown links
+and images; relative targets must point at files that exist in the
+repository, and ``#anchor`` fragments must match a heading in the
+target document (GitHub slug rules).  External ``http(s)``/``mailto``
+links are out of scope — CI cannot vouch for the internet — but a
+link into the repo that rots fails the suite (and the CI docs job).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Documents whose links are checked (the public-facing docs layer).
+DOCUMENTS = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")]
+    + [REPO / "ROADMAP.md", REPO / "CHANGES.md"]
+)
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def _github_slug(heading: str) -> str:
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _links(markdown: str):
+    return _LINK.findall(_CODE_FENCE.sub("", markdown))
+
+
+def _anchors(path: Path) -> set[str]:
+    return {
+        _github_slug(match) for match in _HEADING.findall(path.read_text())
+    }
+
+
+@pytest.mark.parametrize(
+    "document", DOCUMENTS, ids=[str(d.relative_to(REPO)) for d in DOCUMENTS]
+)
+def test_internal_links_resolve(document):
+    failures = []
+    for target in _links(document.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            document.parent / path_part if path_part else document
+        ).resolve()
+        if not resolved.exists():
+            failures.append(f"{target}: {resolved} does not exist")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                failures.append(f"{target}: no heading for #{fragment}")
+    assert not failures, (
+        f"{document.relative_to(REPO)} has broken links:\n  "
+        + "\n  ".join(failures)
+    )
+
+
+def test_docs_layer_exists():
+    """The documents the README promises are actually present."""
+    assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+    assert (REPO / "docs" / "STORAGE.md").exists()
+    readme = (REPO / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/STORAGE.md" in readme
