@@ -24,16 +24,18 @@ from repro.algebra.translate import translate_sql
 from repro.runtime import (
     ColumnarMap,
     DeltaEngine,
+    DurableEngine,
     EventBatch,
     ShardedEngine,
     StreamEvent,
     batches,
     insert,
     delete,
+    recover_engine,
     update,
 )
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "Catalog",
@@ -47,12 +49,14 @@ __all__ = [
     "compile_sql",
     "translate_sql",
     "DeltaEngine",
+    "DurableEngine",
     "EventBatch",
     "ShardedEngine",
     "StreamEvent",
     "batches",
     "insert",
     "delete",
+    "recover_engine",
     "update",
     "__version__",
 ]

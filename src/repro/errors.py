@@ -74,3 +74,22 @@ class UnknownStreamError(RuntimeEngineError):
 
 class EventError(RuntimeEngineError):
     """Malformed event (wrong arity, wrong types, bad operation)."""
+
+
+class DurabilityError(RuntimeEngineError):
+    """Problem in the durability layer (WAL, snapshots, recovery)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead log frame or segment failed validation.
+
+    Raised only for *interior* corruption — a bad frame followed by good
+    data, which no crash can produce.  A torn tail (the partial frame a
+    crash leaves at the end of the log) is expected damage and is
+    truncated silently on open instead.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """A durable directory cannot be recovered into this engine
+    (fingerprint mismatch, unreadable metadata, snapshot/log conflict)."""

@@ -14,6 +14,10 @@ The runtime executes a :class:`~repro.compiler.program.CompiledProgram`:
   maintained maps (avg division, min/max extraction, group existence);
 * :mod:`~repro.runtime.sources` — stream adapters (lists, files, generators)
   for standalone mode;
+* :mod:`~repro.runtime.durability` — crash durability: the LSN-stamped
+  write-ahead log, atomic engine snapshots, recovery
+  (:class:`~repro.runtime.durability.DurableEngine`) and the
+  fault-injection probe points;
 * :mod:`~repro.runtime.debugger` / :mod:`~repro.runtime.profiler` — the
   demo's step-tracing and per-map profiling tools.
 """
@@ -29,18 +33,32 @@ from repro.runtime.events import (
     update,
 )
 from repro.runtime.engine import DeltaEngine, ShardedEngine
+from repro.runtime.durability import (
+    CrashPoint,
+    DurableEngine,
+    SnapshotStore,
+    WriteAheadLog,
+    program_fingerprint,
+    recover_engine,
+)
 from repro.runtime.storage import ColumnarMap
 from repro.runtime.views import query_results, result_rows_to_dicts
 
 __all__ = [
     "ColumnarMap",
+    "CrashPoint",
+    "DurableEngine",
     "EventBatch",
+    "SnapshotStore",
     "StreamEvent",
+    "WriteAheadLog",
     "batches",
     "insert",
     "delete",
     "partition_columns",
     "partition_rows",
+    "program_fingerprint",
+    "recover_engine",
     "update",
     "DeltaEngine",
     "ShardedEngine",

@@ -1,0 +1,1131 @@
+"""Durability: Z-set write-ahead log, engine snapshots and crash recovery.
+
+The engine's maintained maps are main-memory state: without this module
+they die with the process.  Durability follows directly from the delta
+architecture — a maintained view is a *function of the update stream's
+prefix* (the higher-order delta compilation replays deltas; DBSP makes
+the same point formally), so persisting the stream is persisting the
+views.  Three pieces:
+
+* :class:`WriteAheadLog` — an append-only log of LSN-prefixed,
+  CRC-checksummed event-batch frames.  A frame serialises one
+  :class:`~repro.runtime.events.EventBatch` *column-packed* (the batch is
+  already struct-of-arrays: int64/float64 columns write as packed arrays,
+  string columns as length-prefixed UTF-8, anything else pickles), so the
+  log layout mirrors the runtime layout.  Frames append to segment files
+  (``wal-<first_lsn>.log``) rotated at a size threshold; the fsync policy
+  (``"always"`` / ``"batch"`` / ``"none"``) trades durability latency for
+  throughput; a torn tail — the partial frame a crash leaves behind — is
+  detected by CRC on open and truncated away.
+
+* :class:`SnapshotStore` — whole-engine snapshots
+  ``(lsn_watermark, maps, counters)`` written atomically (tmp file,
+  fsync, rename, directory fsync) with a CRC trailer, taken manually
+  (:meth:`DurableEngine.snapshot`) or every N events.  Invalid or torn
+  snapshots are skipped at load time, falling back to the previous one.
+
+* **recovery** (:func:`recover_engine`, :meth:`DurableEngine.__init__`,
+  :meth:`repro.runtime.engine.DeltaEngine.recover`) — load the latest
+  valid snapshot, replay the WAL suffix ``lsn > watermark`` through the
+  normal batch path, resume logging at the right LSN.  The recovery
+  invariant (pinned by the hypothesis suite in
+  ``tests/runtime/test_fault_injection.py``): *snapshot + WAL-suffix
+  replay lands on a state identical to an uninterrupted engine that
+  processed the same logged prefix*, and replaying any WAL prefix twice
+  is idempotent because frames at or below the watermark are skipped by
+  LSN, never re-applied.
+
+:class:`DurableEngine` wraps a :class:`~repro.runtime.engine.DeltaEngine`
+(or, with ``shards > 1``, a :class:`~repro.runtime.engine.ShardedEngine`)
+and logs every batch *before* applying it — pre-partition, in the router,
+so one log serves any future shard count: the same directory can be
+recovered into a single engine or any shard fan-out.
+
+Fault injection hooks: the WAL, the snapshot store and the durable engine
+call a *probe* callable (when installed) at the labelled points listed in
+:data:`PROBE_POINTS`.  :class:`CrashPoint` is the standard probe — it
+counts occurrences of one label and fires an action (SIGKILL by default)
+on the Nth, which is how ``tests/runtime/fault_injection.py`` kills real
+subprocesses mid-frame-write, between append and apply, or mid-snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.compiler.program import CompiledProgram
+from repro.errors import (
+    DurabilityError,
+    EventError,
+    RecoveryError,
+    WalCorruptionError,
+)
+from repro.runtime.engine import DEFAULT_BATCH_SIZE
+from repro.runtime.events import EventBatch, StreamEvent, batches
+
+#: Labels at which the durability layer calls its fault-injection probe.
+PROBE_POINTS = (
+    "wal.mid_frame",         # half a flush written to the segment fd
+    "engine.after_append",   # frame durable per policy, not yet applied
+    "engine.after_apply",    # frame applied, snapshot check not yet run
+    "snapshot.mid_write",    # half the snapshot body written to the tmp
+    "snapshot.before_rename",  # tmp complete + fsynced, not yet renamed
+)
+
+#: Accepted WAL fsync policies.
+FSYNC_POLICIES = ("always", "batch", "none")
+
+#: Rotate to a fresh segment once the current one exceeds this.
+DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
+
+#: ``batch``/``none`` appends buffer in memory up to this many bytes
+#: before being written out (bounds loss *and* memory, not durability —
+#: only ``sync()`` establishes a durability barrier).
+DEFAULT_FLUSH_BYTES = 256 * 1024
+
+_FORMAT_VERSION = 1
+_SEGMENT_MAGIC = b"RWAL"
+_SNAPSHOT_MAGIC = b"RSNP"
+_SEGMENT_HEADER = struct.Struct("<4sHQ")   # magic, version, first_lsn
+_FRAME_HEADER = struct.Struct("<QI")       # lsn, payload length
+_FRAME_CRC = struct.Struct("<I")           # crc32(header + payload)
+_PAYLOAD_HEADER = struct.Struct("<HbIH")   # relation len, sign, rows, cols
+_COLUMN_HEADER = struct.Struct("<cI")      # type tag, encoded length
+_SNAPSHOT_HEADER = struct.Struct("<4sHQI")  # magic, version, lsn, body len
+
+#: Frames larger than this are rejected as corruption rather than
+#: allocated (a torn length field can claim gigabytes).
+_MAX_PAYLOAD_BYTES = 1 << 31
+
+#: Batches at or below this many rows skip the per-column packing and
+#: pickle their row list in one call — interleaved streams degenerate
+#: into one/two-row runs where per-column dispatch costs more than the
+#: data (pickle round-trips values and types exactly, like the ``P``
+#: column tag).  The column count field carries the sentinel below.
+_SMALL_BATCH_ROWS = 4
+
+#: ``cols`` value in the payload header marking a pickled-rows payload.
+_ROWS_SENTINEL = 0xFFFF
+
+# Bound once: the append path runs per frame, and interleaved streams
+# degenerate to one/two-row frames, so attribute lookups show up.
+_pack_payload_header = _PAYLOAD_HEADER.pack
+_pack_frame_header = _FRAME_HEADER.pack
+_pack_crc = _FRAME_CRC.pack
+_crc32 = zlib.crc32
+_dumps = pickle.dumps
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+_NAME_CACHE: dict[str, bytes] = {}
+
+
+def _encoded_name(relation: str) -> bytes:
+    """UTF-8 relation name, cached (relation sets are small and fixed)."""
+    name = _NAME_CACHE.get(relation)
+    if name is None:
+        name = _NAME_CACHE[relation] = relation.encode("utf-8")
+    return name
+
+_META_FILE = "durable.json"
+
+
+# ---------------------------------------------------------------------------
+# Column-packed frame codec
+# ---------------------------------------------------------------------------
+
+
+def _pack_numeric(kind: str, values: Sequence) -> bytes:
+    packed = array(kind, values)
+    if sys.byteorder == "big":  # frames are little-endian on disk
+        packed.byteswap()
+    return packed.tobytes()
+
+
+def _unpack_numeric(kind: str, data: bytes) -> list:
+    unpacked = array(kind)
+    unpacked.frombytes(data)
+    if sys.byteorder == "big":
+        unpacked.byteswap()
+    return unpacked.tolist()
+
+
+def _encode_column(values: Sequence) -> tuple[bytes, bytes]:
+    """One column as ``(type tag, packed bytes)``.
+
+    Tags mirror the runtime's column kinds: ``q`` all-int64, ``d``
+    all-float, ``U`` all-str (length-prefixed UTF-8), ``P`` pickled
+    fallback for mixed/boxed columns.  Type sets are checked strictly
+    (``bool`` is not ``int``, ``2`` is not ``2.0``) so decoding
+    round-trips values *and their types* exactly.
+    """
+    kinds = {type(value) for value in values}
+    if not kinds or kinds == {int}:
+        try:
+            return b"q", _pack_numeric("q", values)
+        except OverflowError:  # a value outside int64: box the column
+            return b"P", pickle.dumps(list(values), pickle.HIGHEST_PROTOCOL)
+    if kinds == {float}:
+        return b"d", _pack_numeric("d", values)
+    if kinds == {str}:
+        encoded = [value.encode("utf-8") for value in values]
+        lengths = _pack_numeric("I", [len(item) for item in encoded])
+        return b"U", lengths + b"".join(encoded)
+    return b"P", pickle.dumps(list(values), pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_column(tag: bytes, data: bytes, rows: int) -> list:
+    if tag == b"q":
+        return _unpack_numeric("q", data)
+    if tag == b"d":
+        return _unpack_numeric("d", data)
+    if tag == b"U":
+        lengths = _unpack_numeric("I", data[: 4 * rows])
+        out, offset = [], 4 * rows
+        for length in lengths:
+            out.append(data[offset:offset + length].decode("utf-8"))
+            offset += length
+        return out
+    if tag == b"P":
+        return pickle.loads(data)
+    raise WalCorruptionError(f"unknown WAL column tag {tag!r}")
+
+
+def encode_batch_payload(
+    relation: str, sign: int, columns: Sequence[Sequence], rows: int
+) -> bytes:
+    """Serialise one batch column-packed (the WAL frame payload)."""
+    name = relation.encode("utf-8")
+    parts = [_PAYLOAD_HEADER.pack(len(name), sign, rows, len(columns)), name]
+    for column in columns:
+        tag, data = _encode_column(column)
+        parts.append(_COLUMN_HEADER.pack(tag, len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def encode_rows_payload(relation: str, sign: int, rows: Sequence) -> bytes:
+    """The small-batch payload: one pickled row list, no column dispatch.
+
+    Same frame envelope and header as :func:`encode_batch_payload` with
+    ``cols`` set to :data:`_ROWS_SENTINEL`; :func:`decode_batch_payload`
+    transposes back to columns, so readers see one format.
+    """
+    name = _encoded_name(relation)
+    return (
+        _pack_payload_header(len(name), sign, len(rows), _ROWS_SENTINEL)
+        + name
+        + _dumps(list(rows), _PICKLE_PROTOCOL)
+    )
+
+
+def decode_batch_payload(payload: bytes) -> tuple[str, int, tuple[list, ...]]:
+    """Inverse of the payload encoders (columns in either layout)."""
+    name_len, sign, rows, n_columns = _PAYLOAD_HEADER.unpack_from(payload, 0)
+    offset = _PAYLOAD_HEADER.size
+    relation = payload[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    if n_columns == _ROWS_SENTINEL:
+        row_list = pickle.loads(payload[offset:])
+        if not row_list:
+            return relation, sign, ()
+        return relation, sign, tuple(map(list, zip(*row_list)))
+    columns = []
+    for _ in range(n_columns):
+        tag, data_len = _COLUMN_HEADER.unpack_from(payload, offset)
+        offset += _COLUMN_HEADER.size
+        columns.append(_decode_column(tag, payload[offset:offset + data_len], rows))
+        offset += data_len
+    return relation, sign, tuple(columns)
+
+
+def encode_frame(lsn: int, payload: bytes) -> bytes:
+    """An LSN-prefixed, CRC-trailed WAL frame."""
+    header = _FRAME_HEADER.pack(lsn, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(header))
+    return header + payload + _FRAME_CRC.pack(crc)
+
+
+def _walk_frames(data: bytes) -> Iterator[tuple[int, int, bytes, int]]:
+    """Yield ``(offset, lsn, payload, end_offset)`` for each *valid* frame.
+
+    Stops (without raising) at the first frame that is truncated or fails
+    its CRC — the caller decides whether that is a torn tail (last
+    segment: truncate) or corruption (interior segment: raise).
+    """
+    offset, size = 0, len(data)
+    while offset + _FRAME_HEADER.size + _FRAME_CRC.size <= size:
+        lsn, payload_len = _FRAME_HEADER.unpack_from(data, offset)
+        if payload_len > _MAX_PAYLOAD_BYTES:
+            return
+        end = offset + _FRAME_HEADER.size + payload_len + _FRAME_CRC.size
+        if end > size:
+            return
+        payload_start = offset + _FRAME_HEADER.size
+        payload = data[payload_start:payload_start + payload_len]
+        (stored_crc,) = _FRAME_CRC.unpack_from(data, end - _FRAME_CRC.size)
+        crc = zlib.crc32(payload, zlib.crc32(data[offset:payload_start]))
+        if crc != stored_crc:
+            return
+        yield offset, lsn, payload, end
+        offset = end
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+def _sigkill_self() -> None:
+    """The default crash action: die as uncleanly as the OS allows."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class CrashPoint:
+    """A fault-injection probe: fire ``action`` at the Nth hit of a label.
+
+    Install as the ``probe=`` argument of :class:`DurableEngine` (it is
+    threaded through to the WAL and the snapshot store).  Every call with
+    a matching label increments the counter; on hit number ``hits`` the
+    action runs — by default ``SIGKILL`` to the calling process, which is
+    how the fault-injection harness produces real unclean deaths at
+    deterministic points.  See :data:`PROBE_POINTS` for the labels.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        hits: int = 1,
+        action: Callable[[], None] = _sigkill_self,
+    ) -> None:
+        if label not in PROBE_POINTS:
+            raise DurabilityError(
+                f"unknown probe label {label!r}; known points: "
+                + ", ".join(PROBE_POINTS)
+            )
+        if hits < 1:
+            raise DurabilityError(f"CrashPoint hits must be >= 1, got {hits!r}")
+        self.label = label
+        self.hits = hits
+        self.action = action
+        self.count = 0
+        self.fired = False
+
+    def __call__(self, label: str) -> None:
+        if label != self.label:
+            return
+        self.count += 1
+        if self.count == self.hits:
+            self.fired = True
+            self.action()
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log
+# ---------------------------------------------------------------------------
+
+
+def _segment_path(directory: Path, first_lsn: int) -> Path:
+    return directory / f"wal-{first_lsn:016d}.log"
+
+
+def _segment_files(directory: Path) -> list[Path]:
+    return sorted(directory.glob("wal-*.log"))
+
+
+def _segment_first_lsn(path: Path) -> Optional[int]:
+    """The segment header's first LSN, or None for a torn/foreign header."""
+    try:
+        with open(path, "rb") as handle:
+            header = handle.read(_SEGMENT_HEADER.size)
+    except OSError:
+        return None
+    if len(header) < _SEGMENT_HEADER.size:
+        return None
+    magic, version, first_lsn = _SEGMENT_HEADER.unpack(header)
+    if magic != _SEGMENT_MAGIC or version != _FORMAT_VERSION:
+        return None
+    return first_lsn
+
+
+class WriteAheadLog:
+    """An append-only, segmented log of column-packed event batches.
+
+    Each :meth:`append` assigns the batch the next LSN and encodes it as
+    one CRC-checksummed frame.  The fsync policy controls when frames
+    reach disk:
+
+    * ``"always"`` — every append is written *and* fsynced before it
+      returns (durable on return; the slowest policy);
+    * ``"batch"`` — appends buffer in memory and are written + fsynced
+      together at :meth:`sync` barriers, segment rotation, close, or when
+      the buffer exceeds ``flush_bytes`` (the default; amortises fsync
+      across a batch of frames);
+    * ``"none"`` — like ``"batch"`` but never fsyncs: the OS decides when
+      pages hit disk.  Survives process crashes after a :meth:`sync` (the
+      data reached the kernel), not power loss.
+
+    Opening a directory that already holds a log *resumes* it: the last
+    segment is scanned, a torn tail (truncated frame or CRC mismatch left
+    by a crash) is truncated away, and appends continue at the next LSN.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "batch",
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        probe: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; choose from "
+                + ", ".join(FSYNC_POLICIES)
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.flush_bytes = flush_bytes
+        self.probe = probe
+        self._pending = bytearray()
+        self._fd: Optional[int] = None
+        self._segment_size = 0
+        self._next_lsn = 1
+        self._open_tail()
+
+    # -- opening / tail repair ---------------------------------------------
+
+    def _open_tail(self) -> None:
+        """Resume the newest segment, truncating any torn tail."""
+        segments = _segment_files(self.directory)
+        while segments:
+            tail = segments[-1]
+            first_lsn = _segment_first_lsn(tail)
+            if first_lsn is None:
+                # The crash tore the segment header itself: the file holds
+                # no recoverable frame, so drop it and fall back.
+                tail.unlink()
+                segments.pop()
+                continue
+            data = tail.read_bytes()
+            valid_end = _SEGMENT_HEADER.size
+            last_lsn = first_lsn - 1
+            for _, lsn, _, end in _walk_frames(data[_SEGMENT_HEADER.size:]):
+                last_lsn = lsn
+                valid_end = _SEGMENT_HEADER.size + end
+            if valid_end < len(data):
+                os.truncate(tail, valid_end)
+            self._next_lsn = last_lsn + 1
+            self._fd = os.open(tail, os.O_WRONLY | os.O_APPEND)
+            self._segment_size = valid_end
+            return
+        self._start_segment(self._next_lsn)
+
+    def _start_segment(self, first_lsn: int) -> None:
+        path = _segment_path(self.directory, first_lsn)
+        self._fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC)
+        header = _SEGMENT_HEADER.pack(_SEGMENT_MAGIC, _FORMAT_VERSION, first_lsn)
+        os.write(self._fd, header)
+        if self.fsync != "none":
+            os.fsync(self._fd)
+        self._segment_size = len(header)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- appending ----------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended (not necessarily durable)
+        frame; 0 for an empty log."""
+        return self._next_lsn - 1
+
+    def ensure_lsn(self, watermark: int) -> None:
+        """Never re-issue LSNs at or below ``watermark``.
+
+        Recovery calls this with the snapshot watermark: if the log tail
+        was lost (``fsync="none"``/``"batch"`` crash after a snapshot),
+        the next append must still get a fresh LSN, leaving a forward gap
+        in the log rather than a duplicate.  Replay tolerates gaps — LSNs
+        must only be strictly increasing.
+        """
+        if watermark >= self._next_lsn:
+            self._next_lsn = watermark + 1
+
+    def append(
+        self, relation: str, sign: int, columns: Sequence[Sequence], rows: int
+    ) -> int:
+        """Log one batch; returns its LSN.
+
+        Durability on return depends on the fsync policy (see the class
+        docstring); :meth:`sync` is the explicit barrier.
+        """
+        return self._append_payload(
+            encode_batch_payload(relation, sign, columns, rows)
+        )
+
+    def append_batch(self, batch: EventBatch) -> int:
+        """Log one :class:`~repro.runtime.events.EventBatch`; returns its
+        LSN.
+
+        Small batches (<= ``_SMALL_BATCH_ROWS`` rows — the degenerate runs
+        an interleaved stream produces even at large batch sizes) take the
+        pickled-rows payload, skipping the per-column packing and the
+        rows->columns transpose; everything else writes column-packed.
+        """
+        if len(batch) <= _SMALL_BATCH_ROWS:
+            payload = encode_rows_payload(batch.relation, batch.sign, batch.rows)
+        else:
+            payload = encode_batch_payload(
+                batch.relation, batch.sign, batch.columns, len(batch)
+            )
+        return self._append_payload(payload)
+
+    def _append_payload(self, payload: bytes) -> int:
+        if self._fd is None:
+            raise DurabilityError("write-ahead log is closed")
+        lsn = self._next_lsn
+        header = _pack_frame_header(lsn, len(payload))
+        pending = self._pending
+        if (
+            self._segment_size + len(pending) + len(header) + len(payload)
+            + _FRAME_CRC.size > self.segment_bytes
+            and self._segment_size + len(pending) > _SEGMENT_HEADER.size
+        ):
+            self._rotate(lsn)
+            pending = self._pending
+        pending += header
+        pending += payload
+        pending += _pack_crc(_crc32(payload, _crc32(header)))
+        self._next_lsn = lsn + 1
+        if self.fsync == "always":
+            self._flush(fsync=True)
+        elif len(pending) >= self.flush_bytes:
+            self._flush(fsync=self.fsync == "batch")
+        return lsn
+
+    def _rotate(self, next_lsn: int) -> None:
+        self._flush(fsync=self.fsync != "none")
+        os.close(self._fd)
+        self._start_segment(next_lsn)
+
+    def _flush(self, fsync: bool) -> None:
+        if self._pending:
+            data = bytes(self._pending)
+            self._pending.clear()
+            if self.probe is not None and len(data) > 1:
+                # Fault injection: let a crash land between the two halves
+                # of one write, producing a genuinely torn frame on disk.
+                half = len(data) // 2
+                os.write(self._fd, data[:half])
+                self.probe("wal.mid_frame")
+                os.write(self._fd, data[half:])
+            else:
+                os.write(self._fd, data)
+            self._segment_size += len(data)
+        if fsync:
+            os.fsync(self._fd)
+
+    def sync(self) -> None:
+        """Durability barrier: buffered frames reach disk before return
+        (written, and fsynced unless the policy is ``"none"``)."""
+        if self._fd is None:
+            raise DurabilityError("write-ahead log is closed")
+        self._flush(fsync=self.fsync != "none")
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        if self._fd is None:
+            return
+        self._flush(fsync=self.fsync != "none")
+        os.close(self._fd)
+        self._fd = None
+
+    def abandon(self) -> None:
+        """Drop buffered frames and close *without* flushing.
+
+        This is the fault-injection escape hatch: it leaves the on-disk
+        state exactly as a SIGKILL would — everything written so far
+        survives, everything still buffered in memory is lost.
+        """
+        self._pending.clear()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- replay -------------------------------------------------------------
+
+    @staticmethod
+    def replay(
+        directory: str | Path, after_lsn: int = 0
+    ) -> Iterator[tuple[int, str, int, tuple[list, ...]]]:
+        """Yield ``(lsn, relation, sign, columns)`` for every frame with
+        ``lsn > after_lsn``, in LSN order.
+
+        Read-only: a torn tail on the *last* segment simply ends the
+        iteration (the opener truncates it later); a bad frame in any
+        earlier segment — or a non-increasing LSN — is real corruption
+        and raises :class:`~repro.errors.WalCorruptionError`.
+        """
+        directory = Path(directory)
+        segments = _segment_files(directory)
+        # Segments strictly after the watermark's segment still need their
+        # predecessor scanned (the watermark may sit mid-segment).
+        starts = [_segment_first_lsn(path) for path in segments]
+        keep_from = 0
+        for index, first_lsn in enumerate(starts):
+            if first_lsn is not None and first_lsn <= after_lsn + 1:
+                keep_from = index
+        previous_lsn = after_lsn
+        for index in range(keep_from, len(segments)):
+            path = segments[index]
+            is_last = index == len(segments) - 1
+            first_lsn = starts[index]
+            if first_lsn is None:
+                if is_last:
+                    return  # torn header: nothing recoverable in the tail
+                raise WalCorruptionError(
+                    f"{path.name}: unreadable segment header in the middle "
+                    "of the log"
+                )
+            data = path.read_bytes()
+            valid_end = _SEGMENT_HEADER.size
+            for _, lsn, payload, end in _walk_frames(data[_SEGMENT_HEADER.size:]):
+                if lsn <= previous_lsn and lsn > after_lsn:
+                    raise WalCorruptionError(
+                        f"{path.name}: LSN {lsn} after {previous_lsn} — "
+                        "log sequence must be strictly increasing"
+                    )
+                valid_end = _SEGMENT_HEADER.size + end
+                if lsn > after_lsn:
+                    previous_lsn = lsn
+                    relation, sign, columns = decode_batch_payload(payload)
+                    yield lsn, relation, sign, columns
+            if valid_end < len(data) and not is_last:
+                raise WalCorruptionError(
+                    f"{path.name}: corrupt frame in the middle of the log "
+                    f"(byte {valid_end})"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+class SnapshotStore:
+    """Atomic whole-engine snapshots, newest-first on load.
+
+    A snapshot file is ``header + pickled state + crc32`` written to a
+    temporary file, fsynced, then renamed into place (followed by a
+    directory fsync) — a crash leaves either the previous snapshot set or
+    the previous set plus one complete new file, never a half-written
+    visible snapshot.  ``keep`` bounds how many snapshots are retained;
+    older ones (and stray tmp files) are pruned after each save.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int = 2,
+        probe: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if keep < 1:
+            raise DurabilityError(f"snapshot keep must be >= 1, got {keep!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.probe = probe
+
+    def _path(self, lsn: int) -> Path:
+        return self.directory / f"snapshot-{lsn:016d}.snap"
+
+    def paths(self) -> list[Path]:
+        """Snapshot files, oldest first."""
+        return sorted(self.directory.glob("snapshot-*.snap"))
+
+    def save(self, lsn: int, state: dict) -> Path:
+        """Write one snapshot atomically and prune old ones."""
+        body = pickle.dumps(dict(state, lsn=lsn), pickle.HIGHEST_PROTOCOL)
+        header = _SNAPSHOT_HEADER.pack(
+            _SNAPSHOT_MAGIC, _FORMAT_VERSION, lsn, len(body)
+        )
+        final = self._path(lsn)
+        tmp = final.with_suffix(".snap.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            if self.probe is not None:
+                half = len(body) // 2
+                handle.write(body[:half])
+                handle.flush()
+                self.probe("snapshot.mid_write")
+                handle.write(body[half:])
+            else:
+                handle.write(body)
+            handle.write(_FRAME_CRC.pack(zlib.crc32(body)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self.probe is not None:
+            self.probe("snapshot.before_rename")
+        os.replace(tmp, final)
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.prune()
+        return final
+
+    def prune(self) -> None:
+        for stray in self.directory.glob("snapshot-*.snap.tmp"):
+            stray.unlink(missing_ok=True)
+        snapshots = self.paths()
+        for old in snapshots[: max(0, len(snapshots) - self.keep)]:
+            old.unlink(missing_ok=True)
+
+    def _load(self, path: Path) -> Optional[dict]:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if len(data) < _SNAPSHOT_HEADER.size + _FRAME_CRC.size:
+            return None
+        magic, version, lsn, body_len = _SNAPSHOT_HEADER.unpack_from(data, 0)
+        if magic != _SNAPSHOT_MAGIC or version != _FORMAT_VERSION:
+            return None
+        start = _SNAPSHOT_HEADER.size
+        end = start + body_len
+        if end + _FRAME_CRC.size > len(data):
+            return None
+        body = data[start:end]
+        (stored_crc,) = _FRAME_CRC.unpack_from(data, end)
+        if zlib.crc32(body) != stored_crc:
+            return None
+        try:
+            state = pickle.loads(body)
+        except Exception:
+            return None
+        if not isinstance(state, dict) or state.get("lsn") != lsn:
+            return None
+        return state
+
+    def load_latest(self) -> Optional[dict]:
+        """The newest snapshot that validates, or None.
+
+        Invalid files (torn writes that somehow became visible, bad CRCs,
+        foreign formats) are skipped, falling back to the next older
+        snapshot — the load-side half of snapshot atomicity.
+        """
+        for path in reversed(self.paths()):
+            state = self._load(path)
+            if state is not None:
+                return state
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Program identity
+# ---------------------------------------------------------------------------
+
+
+def program_fingerprint(program: CompiledProgram) -> str:
+    """A stable digest of the program shape a durable directory serves.
+
+    Recovery refuses to replay a log into a *different* program (other
+    maps, other triggers): the WAL records deltas, and deltas only mean
+    anything against the program that produced them.  The fingerprint
+    covers the trigger set, the maintained maps (name + key arity) and
+    the query names — the parts replay depends on.
+    """
+    digest = hashlib.sha256()
+    for relation, sign in sorted(program.triggers):
+        digest.update(f"trigger:{relation}/{sign};".encode())
+    for name in sorted(program.maps):
+        digest.update(f"map:{name}/{program.maps[name].arity};".encode())
+    for query in program.queries:
+        digest.update(f"query:{query.name};".encode())
+    for relation in sorted(program.static_relations):
+        digest.update(f"static:{relation};".encode())
+    return digest.hexdigest()[:16]
+
+
+def _check_meta(directory: Path, fingerprint: str, create: bool) -> None:
+    meta_path = directory / _META_FILE
+    if meta_path.exists():
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise RecoveryError(
+                f"{meta_path}: unreadable durability metadata: {exc}"
+            ) from exc
+        stored = meta.get("fingerprint")
+        if stored != fingerprint:
+            raise RecoveryError(
+                f"{directory} was written by a different program "
+                f"(fingerprint {stored!r}, this program {fingerprint!r}); "
+                "recover it with the original query/schema or point the "
+                "engine at a fresh directory"
+            )
+        return
+    if create:
+        tmp = meta_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps({"format": _FORMAT_VERSION, "fingerprint": fingerprint})
+        )
+        os.replace(tmp, meta_path)
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+def recover_engine(
+    program: CompiledProgram,
+    directory: str | Path,
+    shards: int = 1,
+    parallel: bool = False,
+    **engine_kwargs,
+):
+    """Rebuild an engine from a durable directory.
+
+    Loads the latest valid snapshot (if any) into a fresh engine via
+    ``restore_state`` and replays the WAL suffix ``lsn > watermark``
+    through the normal batch path.  Returns ``(engine, lsn)`` where
+    ``lsn`` is the last applied frame's LSN (the watermark a resumed log
+    must not re-issue).  With ``shards > 1`` the engine is a
+    :class:`~repro.runtime.engine.ShardedEngine` — the log is written
+    pre-partition, so any shard count can recover the same directory.
+
+    Replay is idempotent by construction: every frame at or below the
+    watermark is filtered out by LSN, so recovering twice (or recovering
+    an already-recovered directory) reaches the identical state.
+    """
+    from repro.runtime.engine import DeltaEngine, ShardedEngine
+
+    directory = Path(directory)
+    fingerprint = program_fingerprint(program)
+    _check_meta(directory, fingerprint, create=False)
+    if shards > 1:
+        engine = ShardedEngine(
+            program, shards=shards, parallel=parallel, **engine_kwargs
+        )
+    else:
+        engine = DeltaEngine(program, **engine_kwargs)
+    watermark = 0
+    snapshot = SnapshotStore(directory).load_latest() if directory.exists() else None
+    if snapshot is not None:
+        stored = snapshot.get("fingerprint")
+        if stored is not None and stored != fingerprint:
+            raise RecoveryError(
+                f"snapshot in {directory} was written by a different "
+                f"program (fingerprint {stored!r}, this program "
+                f"{fingerprint!r})"
+            )
+        engine.restore_state(
+            snapshot["maps"],
+            events_processed=snapshot.get("events_processed", 0),
+            events_skipped=snapshot.get("events_skipped", 0),
+            stream_started=snapshot.get("stream_started"),
+        )
+        watermark = snapshot["lsn"]
+    last = watermark
+    for lsn, relation, sign, columns in WriteAheadLog.replay(
+        directory, after_lsn=watermark
+    ):
+        engine.process_batch_columns(relation, sign, columns)
+        last = lsn
+    return engine, last
+
+
+# ---------------------------------------------------------------------------
+# The durable engine wrapper
+# ---------------------------------------------------------------------------
+
+
+class DurableEngine:
+    """A crash-durable engine: WAL + snapshots around the delta engine.
+
+    Opening a directory recovers whatever state it holds (latest valid
+    snapshot + WAL-suffix replay) and resumes logging at the next LSN, so
+    construction doubles as restart::
+
+        engine = DurableEngine(program, "state/")   # fresh or recovered
+        engine.process_stream(events)
+        engine.snapshot()                            # manual checkpoint
+        engine.close()
+
+    Every batch is logged *before* it is applied (write-ahead), in the
+    router — pre-partition — so with ``shards > 1`` one log serves any
+    future shard count.  ``fsync`` picks the WAL durability policy
+    (:class:`WriteAheadLog`); ``snapshot_every=N`` checkpoints
+    automatically every N logged events, bounding the WAL suffix a
+    restart must replay.  All read/introspection methods (``results``,
+    ``map_view``, ``map_sizes``...) delegate to the wrapped engine.
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        directory: str | Path,
+        shards: int = 1,
+        parallel: bool = False,
+        fsync: str = "batch",
+        snapshot_every: Optional[int] = None,
+        keep_snapshots: int = 2,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        probe: Optional[Callable[[str], None]] = None,
+        **engine_kwargs,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise DurabilityError(
+                f"snapshot_every must be >= 1 events, got {snapshot_every!r}"
+            )
+        self.program = program
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = program_fingerprint(program)
+        _check_meta(self.directory, self.fingerprint, create=True)
+        self._probe = probe
+        self._snapshot_every = snapshot_every
+        self._snapshots = SnapshotStore(
+            self.directory, keep=keep_snapshots, probe=probe
+        )
+        self._engine, self._lsn = recover_engine(
+            program, self.directory, shards=shards, parallel=parallel,
+            **engine_kwargs,
+        )
+        self._wal = WriteAheadLog(
+            self.directory, fsync=fsync, segment_bytes=segment_bytes,
+            probe=probe,
+        )
+        # A lost tail (crash under fsync="batch"/"none" after a snapshot)
+        # must not re-issue LSNs the snapshot already covers.
+        self._wal.ensure_lsn(self._lsn)
+        self._lsn = self._wal.last_lsn if self._wal.last_lsn > self._lsn else self._lsn
+        self._since_snapshot = 0
+        self._closed = False
+        # (relation, sign) pairs _precheck has already admitted.  Strict
+        # mode, the trigger set and the known relations are fixed for the
+        # engine's lifetime, so a non-static pair never needs re-checking;
+        # static tables stay out (their validity flips with the stream).
+        self._precheck_ok: set = set()
+
+    # -- event processing ---------------------------------------------------
+
+    @property
+    def engine(self):
+        """The wrapped :class:`DeltaEngine` / :class:`ShardedEngine`."""
+        return self._engine
+
+    @property
+    def lsn(self) -> int:
+        """The LSN of the last applied batch (0 before any event)."""
+        return self._lsn
+
+    def _precheck(self, relation: str, sign: int) -> None:
+        """Raise the engine's own validation errors *before* logging, so a
+        rejected batch never poisons the log (replay would re-raise it on
+        every recovery)."""
+        from repro.runtime.engine import _unknown_relation_error
+
+        inner = self._engine
+        if relation in self.program.static_relations:
+            if inner._stream_started:
+                raise EventError(
+                    f"static table {relation!r} cannot change after "
+                    "stream processing has started; declare it as a STREAM "
+                    "if it receives online updates"
+                )
+            if sign != 1:
+                raise EventError(
+                    f"static table {relation!r} only supports bulk-load "
+                    "inserts"
+                )
+        elif (
+            inner.strict
+            and (relation, sign) not in self.program.triggers
+            and relation not in inner._relations
+        ):
+            raise _unknown_relation_error(self.program, relation)
+        else:
+            self._precheck_ok.add((relation, sign))
+
+    def _log_and_apply(self, batch: EventBatch) -> int:
+        if self._closed:
+            raise DurabilityError("DurableEngine is closed")
+        count = len(batch)
+        if not count:
+            return 0
+        if (batch.relation, batch.sign) not in self._precheck_ok:
+            self._precheck(batch.relation, batch.sign)
+        lsn = self._wal.append_batch(batch)
+        if self._probe is not None:
+            self._probe("engine.after_append")
+        self._engine._process_batch(batch)
+        self._lsn = lsn
+        if self._probe is not None:
+            self._probe("engine.after_apply")
+        self._since_snapshot += count
+        if (
+            self._snapshot_every is not None
+            and self._since_snapshot >= self._snapshot_every
+        ):
+            self.snapshot()
+        return count
+
+    def process(self, event: StreamEvent) -> None:
+        """Log and apply one event (a one-row batch)."""
+        self._log_and_apply(EventBatch(event.relation, event.sign, [event.values]))
+
+    def process_batch(
+        self, relation: str, sign: int, rows: Sequence[Sequence]
+    ) -> int:
+        rows = rows if isinstance(rows, list) else list(rows)
+        if not rows:
+            return 0
+        return self._log_and_apply(EventBatch(relation, sign, rows))
+
+    def process_batch_columns(
+        self, relation: str, sign: int, columns: Sequence[Sequence]
+    ) -> int:
+        return self._log_and_apply(EventBatch.from_columns(relation, sign, columns))
+
+    def process_stream(
+        self, events, batch_size: Optional[int] = DEFAULT_BATCH_SIZE
+    ) -> int:
+        """Log and apply a whole stream, batch by batch (see
+        :meth:`repro.runtime.engine.DeltaEngine.process_stream`)."""
+        count = 0
+        for batch in batches(events, batch_size):
+            self._log_and_apply(batch)
+            count += len(batch)
+        return count
+
+    def insert(self, relation: str, *values) -> None:
+        self.process(StreamEvent(relation, 1, tuple(values)))
+
+    def delete(self, relation: str, *values) -> None:
+        self.process(StreamEvent(relation, -1, tuple(values)))
+
+    def load(self, relation: str, rows) -> int:
+        rows = [tuple(row) for row in rows]
+        self.process_batch(relation, 1, rows)
+        return len(rows)
+
+    # -- durability control -------------------------------------------------
+
+    def sync(self) -> None:
+        """Durability barrier: every logged batch reaches disk (and every
+        shard worker drains) before return."""
+        if getattr(self._engine, "parallel", False) or hasattr(
+            self._engine, "merged_maps"
+        ):
+            self._engine.sync()
+        self._wal.sync()
+
+    def snapshot(self) -> Path:
+        """Checkpoint the whole engine state at the current LSN.
+
+        Syncs the WAL first so the snapshot never claims a watermark the
+        log has not durably reached, then writes atomically via
+        :class:`SnapshotStore`.  Restart replays only frames past this
+        watermark.
+        """
+        if self._closed:
+            raise DurabilityError("DurableEngine is closed")
+        self._wal.sync()
+        engine = self._engine
+        if hasattr(engine, "merged_maps"):
+            maps = engine.merged_maps()
+            events_processed = engine.events_processed
+        else:
+            maps = engine.maps
+            events_processed = engine.events_processed
+        state = {
+            # Plain dicts: storage-agnostic (a columnar engine's snapshot
+            # restores into a dict engine and vice versa), insertion order
+            # preserved either way.
+            "maps": {name: dict(contents) for name, contents in maps.items()},
+            "events_processed": events_processed,
+            "events_skipped": engine.events_skipped,
+            "stream_started": engine._stream_started,
+            "fingerprint": self.fingerprint,
+        }
+        path = self._snapshots.save(self._lsn, state)
+        self._since_snapshot = 0
+        return path
+
+    def close(self) -> None:
+        """Flush the WAL and release resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._wal.close()
+        if hasattr(self._engine, "merged_maps"):
+            # Keep the sharded engine open for reads?  No: its contract is
+            # close-discards; the durable state is on disk.
+            self._engine.close()
+
+    def abandon(self) -> None:
+        """Simulate a crash: drop all in-memory state without flushing.
+
+        On-disk files are left exactly as a SIGKILL at this moment would
+        leave them — used by the in-process half of the fault-injection
+        suite, where a real SIGKILL would take the test runner with it.
+        """
+        self._closed = True
+        self._wal.abandon()
+        if hasattr(self._engine, "merged_maps"):
+            self._engine.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- reads (delegated) --------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Reads and introspection (results, map_view, map_sizes, maps,
+        # events_processed...) delegate to the wrapped engine.  Only
+        # called for names not defined here.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.__dict__["_engine"], name)

@@ -40,6 +40,7 @@ IPC.
 
 from __future__ import annotations
 
+import signal
 from types import MappingProxyType
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -68,6 +69,19 @@ from repro.ir.interp import (
     run_trigger as _run_trigger,
     run_trigger_batch as _run_trigger_batch,
 )
+
+
+def _unknown_relation_error(
+    program: CompiledProgram, relation: str
+) -> UnknownStreamError:
+    """A strict-mode rejection that says what *would* have been accepted."""
+    known = sorted(
+        {rel for rel, _ in program.triggers} | set(program.static_relations)
+    )
+    return UnknownStreamError(
+        f"no standing query reads relation {relation!r}; "
+        "known relations: " + (", ".join(known) if known else "(none)")
+    )
 
 
 class InterpretedExecutor:
@@ -273,9 +287,7 @@ class DeltaEngine:
         if trigger is None:
             if event.relation not in self._relations:
                 if self.strict:
-                    raise UnknownStreamError(
-                        f"no standing query reads relation {event.relation!r}"
-                    )
+                    raise _unknown_relation_error(self.program, event.relation)
                 self.events_skipped += 1
                 return
             return  # deletions disabled at compile time, or no statements
@@ -316,9 +328,7 @@ class DeltaEngine:
         if trigger is None:
             if relation not in self._relations:
                 if self.strict:
-                    raise UnknownStreamError(
-                        f"no standing query reads relation {relation!r}"
-                    )
+                    raise _unknown_relation_error(self.program, relation)
                 self.events_skipped += count
             return 0  # or: deletions disabled / no statements
         if count == 1:
@@ -402,6 +412,58 @@ class DeltaEngine:
         rows = [tuple(row) for row in rows]
         self.process_batch(relation, 1, rows)
         return len(rows)
+
+    # -- durability ---------------------------------------------------------
+
+    def restore_state(
+        self,
+        maps: Mapping[str, Mapping],
+        events_processed: int = 0,
+        events_skipped: int = 0,
+        stream_started: Optional[bool] = None,
+    ) -> None:
+        """Replace the engine's state with snapshot contents.
+
+        Maps are updated *in place* — the compiled executor binds the map
+        objects as function defaults, so swapping in new dicts would leave
+        the triggers writing to orphans — and the executor is rebound
+        afterwards so secondary indexes are rebuilt over the restored
+        contents.  ``stream_started`` defaults to "any event was
+        processed", which preserves the static-tables-load-first rule
+        across a restart.
+        """
+        unknown = set(maps) - set(self.maps)
+        if unknown:
+            raise EventError(
+                f"cannot restore unknown maps {sorted(unknown)}; this "
+                f"program maintains: {sorted(self.maps)}"
+            )
+        for name, target in self.maps.items():
+            target.clear()
+            contents = maps.get(name)
+            if contents:
+                target.update(contents)
+        if self.mode == "compiled":
+            self._executor.bind(self.maps)
+        self.events_processed = events_processed
+        self.events_skipped = events_skipped
+        if stream_started is None:
+            stream_started = events_processed > 0
+        self._stream_started = stream_started
+
+    @classmethod
+    def recover(cls, program: CompiledProgram, directory, **kwargs):
+        """Rebuild an engine from a durable directory (latest snapshot +
+        WAL-suffix replay — see :mod:`repro.runtime.durability`).
+
+        Returns a plain (non-logging) engine holding the recovered state;
+        use :class:`~repro.runtime.durability.DurableEngine` instead when
+        processing should *continue* to be logged.
+        """
+        from repro.runtime.durability import recover_engine
+
+        engine, _ = recover_engine(program, directory, **kwargs)
+        return engine
 
     # -- results ------------------------------------------------------------
 
@@ -519,6 +581,22 @@ def _shard_worker_main(
                 conn.send(("error", failure))
             else:
                 conn.send(("stats", engine.index_sizes()))
+        elif op == "restore":
+            # Snapshot recovery scatters a state slice into this lane; a
+            # successful restore also clears any remembered failure — the
+            # lane state is authoritative again.
+            try:
+                engine.restore_state(
+                    message[1],
+                    events_processed=message[2],
+                    stream_started=message[3],
+                )
+            except Exception as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+                conn.send(("error", failure))
+            else:
+                failure = None
+                conn.send(("ok", None))
         else:  # "stop"
             break
     conn.close()
@@ -527,10 +605,16 @@ def _shard_worker_main(
 class _ProcessLane:
     """Coordinator-side handle of one forked shard worker."""
 
+    #: Seconds between liveness checks while waiting on a worker reply.  A
+    #: healthy worker replies as soon as it drains its queued batches, so
+    #: the poll loop only spins when the pipe is genuinely idle.
+    _POLL_INTERVAL = 0.2
+
     def __init__(
         self, ctx, program, mode, use_indexes, optimize, second_order,
-        columnar,
+        columnar, index: int = 0,
     ) -> None:
+        self.index = index
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_shard_worker_main,
@@ -547,31 +631,56 @@ class _ProcessLane:
         try:
             self._conn.send(("batch", relation, sign, columns))
         except (BrokenPipeError, OSError) as exc:
-            raise EventError(
-                f"shard worker died (pid {self._pid()}): {exc}"
-            ) from exc
+            raise self._dead_worker_error() from exc
 
     def send_rows(self, relation: str, sign: int, rows: list) -> None:
         try:
             self._conn.send(("rows", relation, sign, rows))
         except (BrokenPipeError, OSError) as exc:
-            raise EventError(
-                f"shard worker died (pid {self._pid()}): {exc}"
-            ) from exc
+            raise self._dead_worker_error() from exc
 
     def _round_trip(self, request: tuple) -> tuple:
+        """Send one request and wait for its reply, watching for death.
+
+        A worker killed mid-operation (OOM, SIGKILL, crash) can leave the
+        pipe open-but-silent, so a bare ``recv()`` would hang forever.
+        Instead the wait polls the pipe and checks the process between
+        polls: a reply already in flight when the worker dies is still
+        delivered (poll is checked first), and a dead worker with an empty
+        pipe raises a clear :class:`~repro.errors.EventError` naming the
+        shard and how it exited.
+        """
         try:
             self._conn.send(request)
+            while not self._conn.poll(self._POLL_INTERVAL):
+                if not self._proc.is_alive():
+                    raise self._dead_worker_error()
             reply = self._conn.recv()
         except (EOFError, BrokenPipeError, OSError) as exc:
-            # The worker process vanished (crash, OOM kill, interrupt):
-            # surface it through the same contract as trigger failures.
-            raise EventError(
-                f"shard worker died (pid {self._pid()}): {exc}"
-            ) from exc
+            raise self._dead_worker_error() from exc
         if reply[0] == "error":
-            raise EventError(f"shard worker failed: {reply[1]}")
+            raise EventError(
+                f"shard worker {self.index} failed: {reply[1]}"
+            )
         return reply
+
+    def _dead_worker_error(self) -> EventError:
+        exitcode = self._proc.exitcode if self._proc is not None else None
+        if exitcode is None:
+            how = "exit status unknown"
+        elif exitcode < 0:
+            try:
+                name = signal.Signals(-exitcode).name
+            except ValueError:
+                name = f"signal {-exitcode}"
+            how = f"killed by {name}"
+        else:
+            how = f"exit code {exitcode}"
+        return EventError(
+            f"shard worker {self.index} (pid {self._pid()}) died "
+            f"mid-operation ({how}); its lane state is lost — rebuild the "
+            "engine, or recover from a durable directory"
+        )
 
     def _pid(self):
         return self._proc.pid if self._proc is not None else "?"
@@ -587,6 +696,11 @@ class _ProcessLane:
 
     def index_sizes(self) -> dict[str, int]:
         return self._round_trip(("stats",))[1]
+
+    def restore(
+        self, maps: dict, events_processed: int, stream_started: bool
+    ) -> None:
+        self._round_trip(("restore", maps, events_processed, stream_started))
 
     def close(self) -> None:
         if self._proc is None:
@@ -626,6 +740,15 @@ class _LocalLane:
 
     def index_sizes(self) -> dict[str, int]:
         return self.engine.index_sizes()
+
+    def restore(
+        self, maps: dict, events_processed: int, stream_started: bool
+    ) -> None:
+        self.engine.restore_state(
+            maps,
+            events_processed=events_processed,
+            stream_started=stream_started,
+        )
 
     def close(self) -> None:
         pass
@@ -719,9 +842,9 @@ class ShardedEngine:
                     self._lanes = [
                         _ProcessLane(
                             ctx, program, mode, use_indexes, optimize,
-                            second_order, columnar,
+                            second_order, columnar, index=index,
                         )
-                        for _ in range(shards)
+                        for index in range(shards)
                     ]
                     self.parallel = True
             if not self._lanes:
@@ -805,9 +928,7 @@ class ShardedEngine:
         if self.program.triggers.get((relation, sign)) is None:
             if relation not in self._relations:
                 if self.strict:
-                    raise UnknownStreamError(
-                        f"no standing query reads relation {relation!r}"
-                    )
+                    raise _unknown_relation_error(self.program, relation)
                 self.events_skipped += count
             return 0
         column = self.spec.column_for(relation)
@@ -875,6 +996,57 @@ class ShardedEngine:
         return self._serial.events_processed + sum(
             lane.events_processed() for lane in self._lanes
         )
+
+    # -- durability ---------------------------------------------------------
+
+    def restore_state(
+        self,
+        maps: Mapping[str, Mapping],
+        events_processed: int = 0,
+        events_skipped: int = 0,
+        stream_started: Optional[bool] = None,
+    ) -> None:
+        """Scatter snapshot contents across the shard lanes.
+
+        A snapshot holds *merged* maps, so restoring must undo the merge:
+        each sharded read map is split by hashing the partition value in
+        its key — exactly the router's placement, so post-restore deltas
+        land on the lane that owns the restored slice.  Serial-lane maps,
+        additive (sum-merged) maps and anything unsharded restore whole
+        into the serial engine: the merge sums lanes key-wise, and every
+        other lane starts its slice empty.  The event counter also lives
+        on the serial engine (``events_processed`` sums all lanes).
+        """
+        self._check_open()
+        if stream_started is None:
+            stream_started = events_processed > 0
+        self.events_skipped = events_skipped
+        self._stream_started = stream_started
+        if not self._lanes:
+            self._serial.restore_state(
+                maps,
+                events_processed=events_processed,
+                stream_started=stream_started,
+            )
+            return
+        n_lanes = len(self._lanes)
+        serial_maps: dict[str, dict] = {}
+        lane_maps: list[dict[str, dict]] = [{} for _ in range(n_lanes)]
+        for name, contents in maps.items():
+            position = self.spec.map_positions.get(name)
+            if position is None or name in self.spec.serial_maps:
+                serial_maps[name] = dict(contents)
+                continue
+            slices = [lane.setdefault(name, {}) for lane in lane_maps]
+            for key, value in contents.items():
+                slices[hash(key[position]) % n_lanes][key] = value
+        self._serial.restore_state(
+            serial_maps,
+            events_processed=events_processed,
+            stream_started=stream_started,
+        )
+        for lane, shard_maps in zip(self._lanes, lane_maps):
+            lane.restore(shard_maps, 0, stream_started)
 
     # -- results ------------------------------------------------------------
 

@@ -6,6 +6,8 @@ archived-stream path:
 
 * ``compile``  — show the compilation trace / IR / generated code;
 * ``run``      — maintain queries over a CSV event stream, print results;
+* ``recover``  — rebuild engine state from a durable directory and print
+  the recovered results;
 * ``bench``    — quick throughput measurement on a built-in workload.
 
 Usage examples::
@@ -15,9 +17,22 @@ Usage examples::
         --query "SELECT ..." --dump-ir
     python -m repro.tools.cli run --ddl schema.sql --query "SELECT ..." \
         --stream events.csv --every 1000
+    python -m repro.tools.cli run --ddl schema.sql --query "SELECT ..." \
+        --stream events.csv --durable state/ --fsync batch \
+        --snapshot-every 100000
+    python -m repro.tools.cli recover --ddl schema.sql --query "SELECT ..." \
+        --durable state/
     python -m repro.tools.cli bench --workload finance --events 20000
     python -m repro.tools.cli bench --workload finance --query bsp \
         --events 50000 --shards 4
+
+``--durable DIR`` (run) makes processing crash-durable: every batch is
+appended to an LSN-stamped write-ahead log in DIR before it is applied
+(:mod:`repro.runtime.durability`), with optional periodic snapshots
+(``--snapshot-every N``) bounding the suffix a restart replays.  Running
+again with the same DIR *resumes*: the engine recovers the logged state
+first, then continues with the new stream.  ``recover`` performs just the
+recovery half — useful after a crash to inspect where the state landed.
 
 ``--shards N`` (run/bench) processes the stream on a
 :class:`~repro.runtime.engine.ShardedEngine`: batches are hash-routed by
@@ -53,10 +68,23 @@ from repro.tools.trace import compilation_table, ir_summary, recursion_summary
 def _make_engine(program, args):
     """A DeltaEngine, or a ShardedEngine when ``--shards N`` (N > 1) asks
     for hash-partitioned parallel lanes (worker processes where ``fork``
-    is available; non-partitionable programs fall back to serial)."""
+    is available; non-partitionable programs fall back to serial).  With
+    ``--durable DIR`` the engine is wrapped in a
+    :class:`~repro.runtime.durability.DurableEngine` (recovering whatever
+    state DIR already holds)."""
     shards = getattr(args, "shards", 1) or 1
     optimize = not getattr(args, "no_opt", False)
     columnar = not getattr(args, "no_columnar", False)
+    durable = getattr(args, "durable", None)
+    if durable:
+        from repro.runtime.durability import DurableEngine
+
+        return DurableEngine(
+            program, durable, shards=shards, parallel=shards > 1,
+            fsync=getattr(args, "fsync", "batch"),
+            snapshot_every=getattr(args, "snapshot_every", None),
+            mode=args.mode, optimize=optimize, columnar=columnar,
+        )
     if shards > 1:
         return ShardedEngine(
             program, shards=shards, mode=args.mode, parallel=True,
@@ -76,10 +104,15 @@ def _load_catalog(args) -> Catalog:
 
 
 def cmd_compile(args) -> int:
+    from repro.runtime.durability import program_fingerprint
+
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
     optimize = not args.no_opt
     print(program.describe())
+    # The durable-directory stamp: recovery only accepts a WAL written by
+    # a program with this fingerprint.
+    print(f"durability fingerprint: {program_fingerprint(program)}\n")
     print(analyze_partitioning(program).describe())
     print(analyze_storage(program).describe())
     print(ir_summary(program, optimize=optimize))
@@ -100,9 +133,14 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from repro.runtime.durability import DurableEngine
+
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
     engine = _make_engine(program, args)
+    if isinstance(engine, DurableEngine) and engine.lsn:
+        print(f"-- resumed durable state at LSN {engine.lsn} "
+              f"({engine.events_processed} events) --")
     count = 0
     start = time.perf_counter()
     # Events flow through the batched stream path (chunked at --every so
@@ -114,7 +152,7 @@ def cmd_run(args) -> int:
         chunk = list(itertools.islice(source, chunk_size)) if chunk_size else None
         consumed = engine.process_stream(chunk if chunk is not None else source)
         count += consumed
-        if isinstance(engine, ShardedEngine):
+        if isinstance(engine, (ShardedEngine, DurableEngine)):
             engine.sync()
         if chunk_size and consumed:
             print(f"-- after {count} events --")
@@ -127,6 +165,26 @@ def cmd_run(args) -> int:
           f"{count / elapsed if elapsed else 0:,.0f} events/s) ==")
     for row in engine.results("q"):
         print("  ", row)
+    if isinstance(engine, DurableEngine):
+        engine.snapshot()
+        print(f"-- durable state at LSN {engine.lsn} in {engine.directory} --")
+        engine.close()
+    return 0
+
+
+def cmd_recover(args) -> int:
+    from repro.runtime.durability import recover_engine
+
+    catalog = _load_catalog(args)
+    program = compile_sql(args.query, catalog, name="q")
+    shards = getattr(args, "shards", 1) or 1
+    engine, lsn = recover_engine(program, args.durable, shards=shards)
+    print(f"== recovered {args.durable} at LSN {lsn} "
+          f"({engine.events_processed} events) ==")
+    for row in engine.results("q"):
+        print("  ", row)
+    if shards > 1:
+        engine.close()
     return 0
 
 
@@ -224,7 +282,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-columnar", action="store_true",
                        help="keep every maintained map in plain dict "
                        "storage (the storage ablation)")
+    p_run.add_argument("--durable", metavar="DIR",
+                       help="crash-durable processing: write-ahead log + "
+                       "snapshots in DIR (resumes existing state)")
+    p_run.add_argument("--fsync", choices=["always", "batch", "none"],
+                       default="batch",
+                       help="WAL fsync policy with --durable "
+                       "(default: batch)")
+    p_run.add_argument("--snapshot-every", type=int, default=None,
+                       metavar="N",
+                       help="with --durable, checkpoint every N events "
+                       "(bounds the WAL suffix a restart replays)")
     p_run.set_defaults(func=cmd_run)
+
+    p_recover = sub.add_parser(
+        "recover", help="rebuild engine state from a durable directory"
+    )
+    common(p_recover)
+    p_recover.add_argument("--durable", metavar="DIR", required=True,
+                           help="the directory --durable wrote")
+    p_recover.add_argument("--shards", type=int, default=1,
+                           help="recover into N hash-partitioned shard "
+                           "lanes (1 = single engine)")
+    p_recover.set_defaults(func=cmd_recover)
 
     p_bench = sub.add_parser("bench", help="built-in workload throughput")
     p_bench.add_argument("--workload", choices=["finance", "warehouse"],

@@ -1,0 +1,365 @@
+"""Units for the durability layer: frame codec, WAL, snapshots, recovery.
+
+The crash-driven end-to-end properties live in
+``test_fault_injection.py``; this module pins the pieces in isolation —
+the column-packed frame codec round-trips every value shape an
+:class:`~repro.runtime.events.EventBatch` can carry, the WAL survives
+torn tails and rotation, snapshots are atomic and fall back past corrupt
+files, and recovery refuses foreign programs.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import compile_sql
+from repro.errors import (
+    DurabilityError,
+    EventError,
+    RecoveryError,
+    UnknownStreamError,
+    WalCorruptionError,
+)
+from repro.runtime import DeltaEngine, ShardedEngine
+from repro.runtime.durability import (
+    DurableEngine,
+    SnapshotStore,
+    WriteAheadLog,
+    decode_batch_payload,
+    encode_batch_payload,
+    program_fingerprint,
+    recover_engine,
+)
+from repro.runtime.events import EventBatch
+from repro.sql.catalog import Catalog
+
+CATALOG_DDL = """
+CREATE STREAM R (A int, B int);
+CREATE STREAM S (B int, C int);
+"""
+
+
+def _program(query="SELECT A, sum(B) FROM R GROUP BY A"):
+    return compile_sql(query, Catalog.from_script(CATALOG_DDL), name="q")
+
+
+# ---------------------------------------------------------------------------
+# Frame codec round-trips (EventBatch -> WAL payload -> EventBatch)
+# ---------------------------------------------------------------------------
+
+
+def _round_trip(batch: EventBatch) -> EventBatch:
+    payload = encode_batch_payload(
+        batch.relation, batch.sign, batch.columns, len(batch)
+    )
+    relation, sign, columns = decode_batch_payload(payload)
+    return EventBatch.from_columns(relation, sign, columns)
+
+
+@pytest.mark.parametrize(
+    "rows",
+    [
+        [(1, 10), (2, 20), (3, 30)],                      # all-int columns
+        [(1.5, -2.25), (0.0, 3.125)],                     # all-float columns
+        [("ask", "ibm"), ("bid", "msft")],                # all-str columns
+        [(1, 2.5, "x"), (2, 3.5, "yy")],                  # mixed column kinds
+        [(1, "α"), (2, "βγ")],                            # non-ASCII strings
+        [(True, 1), (False, 0)],                          # bools stay bools
+        [(1, 2), (2.5, 3), ("x", 4)],                     # mixed within a column
+        [(2**70, 1), (-(2**70), 2)],                      # beyond int64
+        [(None, 1), ((1, 2), 2)],                         # arbitrary objects
+    ],
+)
+def test_codec_round_trips_rows(rows):
+    batch = EventBatch("R", 1, rows)
+    back = _round_trip(batch)
+    assert back.relation == "R" and back.sign == 1
+    assert back.rows == [tuple(row) for row in rows]
+    # Types survive exactly (2 stays int, True stays bool, 2.0 stays float).
+    for original, decoded in zip(batch.rows, back.rows):
+        assert [type(v) for v in original] == [type(v) for v in decoded]
+
+
+def test_codec_round_trips_delete_sign_and_relation():
+    batch = EventBatch("some_relation", -1, [(7, 8)])
+    back = _round_trip(batch)
+    assert back.sign == -1
+    assert back.relation == "some_relation"
+    assert back.rows == [(7, 8)]
+
+
+def test_codec_round_trips_empty_batch():
+    relation, sign, columns = decode_batch_payload(
+        encode_batch_payload("R", 1, ((), ()), 0)
+    )
+    assert (relation, sign) == ("R", 1)
+    assert [list(c) for c in columns] == [[], []]
+    assert EventBatch.from_columns(relation, sign, columns).rows == []
+
+
+def test_codec_round_trips_zero_arity_rows():
+    batch = EventBatch("R", 1, [(), (), ()])
+    payload = encode_batch_payload("R", 1, batch.columns, 3)
+    relation, sign, columns = decode_batch_payload(payload)
+    assert (relation, sign, columns) == ("R", 1, ())
+
+
+def test_codec_via_columns_matches_via_rows():
+    rows = [(1, 2.0, "a"), (3, 4.0, "b")]
+    via_rows = EventBatch("R", 1, rows)
+    via_columns = EventBatch.from_columns("R", 1, via_rows.columns)
+    assert _round_trip(via_rows).rows == _round_trip(via_columns).rows == rows
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log
+# ---------------------------------------------------------------------------
+
+
+def _append_n(wal: WriteAheadLog, n: int, start: int = 0) -> None:
+    for i in range(start, start + n):
+        wal.append("R", 1, ([i], [i * 10]), 1)
+
+
+def test_wal_append_replay_round_trip(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none") as wal:
+        _append_n(wal, 5)
+        wal.append("S", -1, ([1, 2], [3, 4]), 2)
+    frames = list(WriteAheadLog.replay(tmp_path))
+    assert [lsn for lsn, *_ in frames] == [1, 2, 3, 4, 5, 6]
+    assert frames[0][1:] == ("R", 1, ([0], [0]))
+    assert frames[-1][1:] == ("S", -1, ([1, 2], [3, 4]))
+
+
+def test_wal_replay_after_lsn_filters_prefix(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        _append_n(wal, 10)
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path, after_lsn=7)] == [8, 9, 10]
+    assert list(WriteAheadLog.replay(tmp_path, after_lsn=10)) == []
+
+
+def test_wal_resumes_at_next_lsn(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        _append_n(wal, 3)
+        assert wal.last_lsn == 3
+    with WriteAheadLog(tmp_path) as wal:
+        assert wal.last_lsn == 3
+        _append_n(wal, 2, start=3)
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == [1, 2, 3, 4, 5]
+
+
+def test_wal_segment_rotation(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none", segment_bytes=256) as wal:
+        _append_n(wal, 30)
+    segments = sorted(tmp_path.glob("wal-*.log"))
+    assert len(segments) > 1
+    # Segment file names carry their first LSN; replay stitches them.
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == list(range(1, 31))
+
+
+def test_wal_torn_tail_truncated_on_open(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="always") as wal:
+        _append_n(wal, 6)
+    segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+    os.truncate(segment, segment.stat().st_size - 3)  # tear the last frame
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == [1, 2, 3, 4, 5]
+    with WriteAheadLog(tmp_path) as wal:  # open repairs the tail in place
+        assert wal.last_lsn == 5
+        _append_n(wal, 1, start=5)
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == [1, 2, 3, 4, 5, 6]
+
+
+def test_wal_corrupt_tail_crc_truncated(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="always") as wal:
+        _append_n(wal, 4)
+    segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+    data = bytearray(segment.read_bytes())
+    data[-2] ^= 0xFF  # flip a bit inside the final frame's CRC
+    segment.write_bytes(bytes(data))
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == [1, 2, 3]
+
+
+def test_wal_interior_corruption_raises(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none", segment_bytes=256) as wal:
+        _append_n(wal, 30)
+    first = sorted(tmp_path.glob("wal-*.log"))[0]
+    data = bytearray(first.read_bytes())
+    data[40] ^= 0xFF  # damage a frame in a non-final segment
+    first.write_bytes(bytes(data))
+    with pytest.raises(WalCorruptionError):
+        list(WriteAheadLog.replay(tmp_path))
+
+
+def test_wal_ensure_lsn_leaves_forward_gap(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        _append_n(wal, 2)
+        wal.ensure_lsn(10)  # a snapshot got ahead of the durable log
+        assert wal.append("R", 1, ([9], [9]), 1) == 11
+    lsns = [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)]
+    assert lsns == [1, 2, 11]  # gap-tolerant, strictly increasing
+
+
+def test_wal_abandon_drops_buffered_frames(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="batch")
+    _append_n(wal, 3)
+    wal.sync()
+    _append_n(wal, 2, start=3)  # buffered, never synced
+    wal.abandon()
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == [1, 2, 3]
+
+
+def test_wal_rejects_unknown_policy_and_closed_appends(tmp_path):
+    with pytest.raises(DurabilityError):
+        WriteAheadLog(tmp_path, fsync="sometimes")
+    wal = WriteAheadLog(tmp_path)
+    wal.close()
+    with pytest.raises(DurabilityError):
+        wal.append("R", 1, ([1],), 1)
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_save_load_round_trip(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save(5, {"maps": {"m": {(1,): 2}}, "events_processed": 7})
+    state = store.load_latest()
+    assert state["lsn"] == 5
+    assert state["maps"] == {"m": {(1,): 2}}
+    assert state["events_processed"] == 7
+
+
+def test_snapshot_latest_wins_and_prunes(tmp_path):
+    store = SnapshotStore(tmp_path, keep=2)
+    for lsn in (1, 2, 3):
+        store.save(lsn, {"maps": {}, "n": lsn})
+    assert store.load_latest()["n"] == 3
+    assert len(store.paths()) == 2  # keep=2 pruned the oldest
+
+
+def test_snapshot_corrupt_latest_falls_back(tmp_path):
+    store = SnapshotStore(tmp_path, keep=3)
+    store.save(1, {"maps": {"m": {(1,): 1}}})
+    store.save(2, {"maps": {"m": {(1,): 2}}})
+    latest = store.paths()[-1]
+    data = bytearray(latest.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    latest.write_bytes(bytes(data))
+    assert store.load_latest()["maps"] == {"m": {(1,): 1}}
+
+
+def test_snapshot_tmp_files_are_invisible_and_pruned(tmp_path):
+    store = SnapshotStore(tmp_path)
+    stray = Path(tmp_path) / "snapshot-0000000000000009.snap.tmp"
+    stray.write_bytes(b"half a snapshot")
+    assert store.load_latest() is None
+    store.save(1, {"maps": {}})
+    assert not stray.exists()  # save prunes strays left by crashes
+
+
+def test_snapshot_empty_directory_loads_none(tmp_path):
+    assert SnapshotStore(tmp_path).load_latest() is None
+
+
+# ---------------------------------------------------------------------------
+# Recovery guards
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_distinguishes_programs():
+    a = program_fingerprint(_program("SELECT A, sum(B) FROM R GROUP BY A"))
+    b = program_fingerprint(_program("SELECT sum(A) FROM R"))
+    assert a != b
+    assert a == program_fingerprint(_program("SELECT A, sum(B) FROM R GROUP BY A"))
+
+
+def test_recover_refuses_foreign_program(tmp_path):
+    with DurableEngine(_program(), tmp_path) as engine:
+        engine.insert("R", 1, 2)
+    other = _program("SELECT sum(A) FROM R")
+    with pytest.raises(RecoveryError, match="different program"):
+        recover_engine(other, tmp_path)
+    with pytest.raises(RecoveryError, match="different program"):
+        DurableEngine(other, tmp_path)
+
+
+def test_recover_empty_directory_yields_fresh_engine(tmp_path):
+    engine, lsn = recover_engine(_program(), tmp_path)
+    assert lsn == 0
+    assert engine.events_processed == 0
+    assert engine.results("q") == []
+
+
+def test_durable_engine_rejects_bad_options(tmp_path):
+    with pytest.raises(DurabilityError):
+        DurableEngine(_program(), tmp_path, snapshot_every=0)
+    with pytest.raises(DurabilityError):
+        DurableEngine(_program(), tmp_path, fsync="perhaps")
+
+
+def test_durable_engine_rejects_use_after_close(tmp_path):
+    engine = DurableEngine(_program(), tmp_path)
+    engine.insert("R", 1, 2)
+    engine.close()
+    with pytest.raises(DurabilityError):
+        engine.insert("R", 1, 2)
+
+
+def test_precheck_keeps_bad_events_out_of_the_log(tmp_path):
+    program = compile_sql(
+        "SELECT A, sum(B) FROM R GROUP BY A",
+        Catalog.from_script(CATALOG_DDL),
+        name="q",
+    )
+    with DurableEngine(program, tmp_path, strict=True, fsync="always") as engine:
+        engine.insert("R", 1, 2)
+        with pytest.raises(UnknownStreamError):
+            engine.insert("Nope", 1, 2)
+    # The rejected event was never logged, so recovery replays cleanly.
+    recovered, lsn = recover_engine(program, tmp_path, strict=True)
+    assert lsn == 1
+    assert recovered.events_processed == 1
+
+
+def test_restore_state_rejects_unknown_maps():
+    engine = DeltaEngine(_program())
+    with pytest.raises(EventError, match="unknown maps"):
+        engine.restore_state({"not_a_map": {}})
+
+
+# ---------------------------------------------------------------------------
+# Unknown-relation diagnostics (strict mode)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_relation_error_names_relation_and_lists_known():
+    engine = DeltaEngine(_program(), strict=True)
+    with pytest.raises(UnknownStreamError) as excinfo:
+        engine.insert("Trades", 1, 2)
+    message = str(excinfo.value)
+    assert "'Trades'" in message
+    assert "known relations" in message and "R" in message
+
+
+def test_unknown_relation_error_on_batch_and_load_paths():
+    engine = DeltaEngine(_program(), strict=True)
+    with pytest.raises(UnknownStreamError, match="known relations"):
+        engine.process_batch("Nope", 1, [(1, 2), (3, 4)])
+    with pytest.raises(UnknownStreamError, match="known relations"):
+        engine.load("Nope", [(1, 2)])
+
+
+def test_unknown_relation_error_on_sharded_router():
+    engine = ShardedEngine(_program(), shards=2, strict=True)
+    with pytest.raises(UnknownStreamError, match="known relations"):
+        engine.process_batch("Nope", 1, [(1, 2)])
+
+
+def test_non_strict_engine_still_skips_unknown_relations():
+    engine = DeltaEngine(_program())
+    engine.insert("Nope", 1, 2)
+    assert engine.events_skipped == 1
+    assert engine.events_processed == 0
