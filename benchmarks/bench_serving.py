@@ -1,0 +1,238 @@
+"""Serving cost: delta fan-out throughput and delivery latency.
+
+The view-subscription server (:mod:`repro.runtime.serving`) renders one
+result delta per applied batch and fans it out to every subscriber over
+the framed protocol, so the deployment questions are:
+
+* **sustained throughput vs fan-out** — events/second through the
+  serving ingest path with N live subscribers (each a real socket client
+  accumulating deltas), on the finance ``bsp`` workload at batch 100.
+  The acceptance gate: >= 1000 events/second sustained with 8
+  subscribers;
+* **delivery latency** — per-delta wall time from server fan-out
+  (the frame's ``ts`` stamp) to client receipt, reported as p50/p99
+  across all subscribers.  The regression gate tracks the *inverse* p99
+  (deliveries/second), keeping every committed metric higher-is-better.
+
+Every subscriber must finish in exact parity with the engine's offline
+``query_results`` — a benchmark run that drops or corrupts a delta
+fails outright.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+        [--events N] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.harness import bench_metadata, write_bench_json  # noqa: E402
+
+QUERY = "bsp"
+
+#: Subscriber fan-outs measured (the gate applies to the largest).
+FANOUTS = (1, 4, 8)
+
+#: The acceptance gate: sustained events/second with 8 subscribers.
+SUSTAINED_TARGET = 1_000
+
+BATCH_SIZE = 100
+
+
+def _program():
+    from repro.compiler import compile_sql
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+    return compile_sql(FINANCE_QUERIES[QUERY], finance_catalog(), name=QUERY)
+
+
+def _finance_events(event_count: int, seed: int = 11) -> list:
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    return list(OrderBookGenerator(seed=seed).events(event_count))
+
+
+def _run_subscriber(client, stop, output):
+    """One subscriber: accumulate snapshot + deltas until the sentinel.
+
+    ``stop["lsn"]`` is set (before the sentinel batches are published)
+    to the last LSN of the measured stream; the first delta past it is
+    the sentinel's, so accumulation stops there with the measured stream
+    fully applied.
+    """
+    from repro.runtime.serving import apply_changes, rows_from_snapshot
+
+    rows = rows_from_snapshot(client.subscribe(QUERY))
+    latencies: list[float] = []
+    while True:
+        frame = client.recv()
+        if frame.get("type") != "delta":
+            continue
+        latencies.append(time.time() - frame["ts"])
+        apply_changes(rows, frame["changes"])
+        if stop["lsn"] is not None and frame["lsn"] > stop["lsn"]:
+            break
+    output["rows"] = rows
+    output["latencies"] = latencies
+    output["finished"] = time.time()
+
+
+def measure_fanout(program, events: list, subscribers: int) -> dict:
+    """Serve the stream to N live subscribers; throughput + latency.
+
+    Wall time runs from the first published batch until the *slowest*
+    subscriber has applied the whole stream — sustained delivery rate,
+    not just ingest rate.
+    """
+    from repro.runtime import DeltaEngine
+    from repro.runtime.serving import ServerThread, SubscriberClient
+
+    engine = DeltaEngine(program)
+    stop: dict = {"lsn": None}
+    outputs = [dict() for _ in range(subscribers)]
+    with ServerThread(engine) as handle:
+        clients = [
+            SubscriberClient(handle.host, handle.port) for _ in range(subscribers)
+        ]
+        threads = [
+            threading.Thread(
+                target=_run_subscriber, args=(client, stop, output), daemon=True
+            )
+            for client, output in zip(clients, outputs)
+        ]
+        start = time.time()
+        for thread in threads:
+            thread.start()
+        handle.publish_stream(events, batch_size=BATCH_SIZE)
+        stop["lsn"] = handle.server.tap.lsn
+        # The sentinel: a broker id the generator never emits, asks first
+        # then bids, so the final batch provably changes the bsp view and
+        # every subscriber sees one delta past the stop LSN.
+        handle.publish("asks", 1, [(0, 10**9, 10**6, 1, 1)])
+        handle.publish("bids", 1, [(0, 10**9 + 1, 10**6, 1, 1)])
+        for thread in threads:
+            thread.join(timeout=120)
+            if thread.is_alive():
+                raise RuntimeError("subscriber wedged; serving bench failed")
+        wall = max(output["finished"] for output in outputs) - start
+        for client in clients:
+            client.close()
+        # Parity oracle: every subscriber converged on the live result.
+        expected = Counter(engine.results(QUERY))
+        for index, output in enumerate(outputs):
+            if output["rows"] != expected:
+                raise RuntimeError(
+                    f"subscriber {index} diverged from query_results "
+                    f"({len(output['rows'])} vs {len(expected)} rows)"
+                )
+    latencies = sorted(
+        value for output in outputs for value in output["latencies"]
+    )
+    return {
+        "subscribers": subscribers,
+        "events_per_sec": len(events) / wall,
+        "deltas_delivered": len(latencies),
+        "p50_ms": latencies[len(latencies) // 2] * 1000,
+        "p99_ms": latencies[int(0.99 * (len(latencies) - 1))] * 1000,
+    }
+
+
+def print_table(rows: list[dict], event_count: int) -> None:
+    header = (
+        f"{'subs':>5}{'events/s':>12}{'deltas':>9}"
+        f"{'p50 deliver':>13}{'p99 deliver':>13}"
+    )
+    print(
+        f"serving fan-out — finance {QUERY}, {event_count} events, "
+        f"batch {BATCH_SIZE}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['subscribers']:>5}{row['events_per_sec']:>12,.0f}"
+            f"{row['deltas_delivered']:>9,}"
+            f"{row['p50_ms']:>11.2f}ms{row['p99_ms']:>11.2f}ms"
+        )
+    print()
+
+
+def check_target(rows: list[dict]) -> bool:
+    widest = max(rows, key=lambda row: row["subscribers"])
+    rate = widest["events_per_sec"]
+    if rate < SUSTAINED_TARGET:
+        print(
+            f"!! serving target MISSED: {rate:,.0f} events/s with "
+            f"{widest['subscribers']} subscribers (target "
+            f"{SUSTAINED_TARGET:,})"
+        )
+        return False
+    print(
+        f"serving target met: {rate:,.0f} events/s sustained with "
+        f"{widest['subscribers']} subscribers "
+        f"(p99 delivery {widest['p99_ms']:.2f}ms, target "
+        f"{SUSTAINED_TARGET:,} events/s)"
+    )
+    print()
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration (CI)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="order-book events to serve (default "
+                        "6000 smoke / 30000 full)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write metrics JSON (uploaded as a CI artifact)")
+    args = parser.parse_args(argv)
+
+    event_count = args.events or (6_000 if args.smoke else 30_000)
+    events = _finance_events(event_count)
+    program = _program()
+
+    rows = [measure_fanout(program, events, fanout) for fanout in FANOUTS]
+    print_table(rows, event_count)
+    ok = check_target(rows)
+
+    if args.json:
+        metrics: dict[str, float] = {}
+        for row in rows:
+            prefix = f"serving/{QUERY}/subs={row['subscribers']}"
+            metrics[f"{prefix}/events_per_sec"] = row["events_per_sec"]
+            # The regression gate treats every metric as higher-is-better,
+            # so latency is committed inverted (deliveries/second at p99);
+            # the raw milliseconds live in metadata for humans.
+            metrics[f"{prefix}/p99_inv_per_sec"] = 1000.0 / row["p99_ms"]
+        write_bench_json(
+            args.json, "serving", metrics,
+            metadata={
+                **bench_metadata(),
+                "events": event_count,
+                "batch_size": BATCH_SIZE,
+                "query": QUERY,
+                "fanouts": list(FANOUTS),
+                "sustained_target": SUSTAINED_TARGET,
+                "p99_ms": {
+                    str(row["subscribers"]): row["p99_ms"] for row in rows
+                },
+                "p50_ms": {
+                    str(row["subscribers"]): row["p50_ms"] for row in rows
+                },
+            },
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 """CI benchmark-regression gate.
 
 Compares the ``BENCH_*.json`` files written by ``bench_batching.py
---json`` / ``bench_sharding.py --json`` against the committed
-``benchmarks/baseline.json``.  Raw events/sec is meaningless across
+--json`` / ``bench_sharding.py --json`` / ``bench_serving.py --json``
+against the committed ``benchmarks/baseline.json``.  Raw events/sec is meaningless across
 hosts, so every metric is first normalised by its run's
 :func:`benchmarks.harness.calibration_score` (a fixed synthetic loop
 measuring the host's single-thread dict throughput); the gate fails when
@@ -14,12 +14,18 @@ copying the payloads into ``baseline.json``::
 
     PYTHONPATH=src python benchmarks/bench_batching.py --smoke --json BENCH_batching.json
     PYTHONPATH=src python benchmarks/bench_sharding.py --smoke --json BENCH_sharding.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --json BENCH_serving.json
     PYTHONPATH=src python benchmarks/check_regression.py --update-baseline \
-        BENCH_batching.json BENCH_sharding.json
+        BENCH_batching.json BENCH_sharding.json BENCH_serving.json
 
 Usage (the CI job)::
 
-    python benchmarks/check_regression.py BENCH_batching.json BENCH_sharding.json
+    python benchmarks/check_regression.py \
+        BENCH_batching.json BENCH_sharding.json BENCH_serving.json
+
+All committed metrics are higher-is-better; latency-shaped measurements
+are committed inverted (e.g. the serving bench's ``p99_inv_per_sec``)
+with the raw values in the payload's metadata.
 """
 
 from __future__ import annotations

@@ -76,6 +76,11 @@ class EventError(RuntimeEngineError):
     """Malformed event (wrong arity, wrong types, bad operation)."""
 
 
+class ServingError(RuntimeEngineError):
+    """Problem in the view-subscription serving layer (bad protocol
+    frame, unknown view, a dropped or misbehaving peer)."""
+
+
 class DurabilityError(RuntimeEngineError):
     """Problem in the durability layer (WAL, snapshots, recovery)."""
 

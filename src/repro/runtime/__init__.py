@@ -18,6 +18,10 @@ The runtime executes a :class:`~repro.compiler.program.CompiledProgram`:
   write-ahead log, atomic engine snapshots, recovery
   (:class:`~repro.runtime.durability.DurableEngine`) and the
   fault-injection probe points;
+* :mod:`~repro.runtime.serving` — the reactive view-subscription server:
+  clients subscribe to named views and receive LSN-stamped incremental
+  result deltas as triggers fire (snapshot-then-stream catch-up, bounded
+  per-client queues with configurable backpressure);
 * :mod:`~repro.runtime.debugger` / :mod:`~repro.runtime.profiler` — the
   demo's step-tracing and per-map profiling tools.
 """
@@ -41,16 +45,26 @@ from repro.runtime.durability import (
     program_fingerprint,
     recover_engine,
 )
+from repro.runtime.serving import (
+    ServerThread,
+    SubscriberClient,
+    ViewDeltaTap,
+    ViewServer,
+)
 from repro.runtime.storage import ColumnarMap
-from repro.runtime.views import query_results, result_rows_to_dicts
+from repro.runtime.views import query_results, result_delta, result_rows_to_dicts
 
 __all__ = [
     "ColumnarMap",
     "CrashPoint",
     "DurableEngine",
     "EventBatch",
+    "ServerThread",
     "SnapshotStore",
     "StreamEvent",
+    "SubscriberClient",
+    "ViewDeltaTap",
+    "ViewServer",
     "WriteAheadLog",
     "batches",
     "insert",
@@ -59,6 +73,7 @@ __all__ = [
     "partition_rows",
     "program_fingerprint",
     "recover_engine",
+    "result_delta",
     "update",
     "DeltaEngine",
     "ShardedEngine",

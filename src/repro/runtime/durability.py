@@ -550,6 +550,36 @@ class WriteAheadLog:
             raise DurabilityError("write-ahead log is closed")
         self._flush(fsync=self.fsync != "none")
 
+    def truncate_before(self, watermark: int) -> list[Path]:
+        """Remove log segments every frame of which is ``<= watermark``.
+
+        The caller asserts the watermark is covered by a durable snapshot
+        recovery can start from, so frames at or below it will never be
+        replayed.  Segment boundaries make coverage checkable without
+        scanning: segment ``i`` (other than the active tail, which is
+        never removed) only holds frames below segment ``i+1``'s first
+        LSN, so it is removable exactly when ``starts[i+1] <= watermark +
+        1``.  The directory is fsynced after the unlinks, and the first
+        surviving segment still satisfies ``first_lsn <= watermark + 1``
+        — :meth:`replay` from the watermark sees an intact log.
+
+        Returns the removed segment paths (empty when nothing is
+        covered).
+        """
+        if self._fd is None:
+            raise DurabilityError("write-ahead log is closed")
+        segments = _segment_files(self.directory)
+        removed: list[Path] = []
+        for index in range(len(segments) - 1):
+            next_first = _segment_first_lsn(segments[index + 1])
+            if next_first is None or next_first > watermark + 1:
+                break
+            segments[index].unlink()
+            removed.append(segments[index])
+        if removed:
+            self._fsync_directory()
+        return removed
+
     def close(self) -> None:
         """Flush and close (idempotent)."""
         if self._fd is None:
@@ -672,6 +702,22 @@ class SnapshotStore:
     def paths(self) -> list[Path]:
         """Snapshot files, oldest first."""
         return sorted(self.directory.glob("snapshot-*.snap"))
+
+    def retained_watermark(self) -> Optional[int]:
+        """The *oldest* retained snapshot's LSN, or ``None`` if empty.
+
+        This is the safe WAL-truncation watermark: recovery may fall back
+        past a corrupt newest snapshot to any older retained one, so the
+        log must keep every frame those older snapshots still need —
+        truncating to the newest snapshot's LSN would strand them.
+        """
+        lsns = []
+        for path in self.paths():
+            try:
+                lsns.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return min(lsns) if lsns else None
 
     def save(self, lsn: int, state: dict) -> Path:
         """Write one snapshot atomically and prune old ones."""
@@ -931,6 +977,11 @@ class DurableEngine:
         # A lost tail (crash under fsync="batch"/"none" after a snapshot)
         # must not re-issue LSNs the snapshot already covers.
         self._wal.ensure_lsn(self._lsn)
+        # Flush-path delta taps on the wrapped engine observe the WAL LSN:
+        # every batch is appended immediately before it is applied, so at
+        # tap time the log's last LSN is the applied batch's LSN — served
+        # deltas carry the same sequence numbers recovery replays.
+        self._engine.lsn_source = lambda: self._wal.last_lsn
         self._lsn = self._wal.last_lsn if self._wal.last_lsn > self._lsn else self._lsn
         self._since_snapshot = 0
         self._closed = False
@@ -1083,6 +1134,12 @@ class DurableEngine:
         }
         path = self._snapshots.save(self._lsn, state)
         self._since_snapshot = 0
+        # Snapshots retire log prefixes: segments recovery can no longer
+        # replay (fully covered by the oldest *retained* snapshot, so the
+        # corrupt-newest fallback path keeps working) are removed.
+        watermark = self._snapshots.retained_watermark()
+        if watermark is not None:
+            self._wal.truncate_before(watermark)
         return path
 
     def close(self) -> None:

@@ -225,6 +225,14 @@ class DeltaEngine:
         self._relations = {rel for rel, _ in program.triggers}
         self._stream_started = False
         self.events_skipped = 0
+        # The flush-path delta tap (see repro.runtime.serving): listeners
+        # observe every batch that reached a trigger, stamped with a
+        # monotonic LSN.  ``lsn_source`` overrides the local clock — the
+        # durable engine points it at the WAL so delivered deltas carry
+        # the durability LSN of the batch they derive from.
+        self._batch_listeners: list = []
+        self._tap_clock = 0
+        self.lsn_source: Optional[callable] = None
 
     def __deepcopy__(self, memo: dict) -> "DeltaEngine":
         """Snapshot support (used by the benchmark harness).
@@ -295,6 +303,10 @@ class DeltaEngine:
         self.events_processed += 1
         if self.profiler is not None:
             self.profiler.record_event(event)
+        if self._batch_listeners:
+            self._notify_listeners(
+                EventBatch(event.relation, event.sign, [event.values])
+            )
 
     def _process_batch(self, batch: EventBatch) -> int:
         """Dispatch one batch: per-event trigger for a degenerate one-row
@@ -340,7 +352,34 @@ class DeltaEngine:
         self.events_processed += count
         if self.profiler is not None:
             self.profiler.record_batch(relation, sign, count)
+        if self._batch_listeners:
+            self._notify_listeners(batch)
         return count
+
+    def _notify_listeners(self, batch: EventBatch) -> None:
+        """Fire the flush-path tap: the batch just applied, LSN-stamped.
+
+        Listener errors propagate — a tap that cannot keep up (or raises)
+        must surface to the caller rather than silently drop deltas.
+        """
+        self._tap_clock += 1
+        lsn = (
+            self.lsn_source()
+            if self.lsn_source is not None
+            else self._tap_clock
+        )
+        for listener in list(self._batch_listeners):
+            listener(lsn, batch)
+
+    def add_batch_listener(self, listener) -> None:
+        """Register a flush-path tap: ``listener(lsn, batch)`` runs after
+        every batch that reached a trigger (skipped relations never fire).
+        LSNs are monotonic; a :class:`~repro.runtime.durability.DurableEngine`
+        substitutes the WAL LSN of the logged batch."""
+        self._batch_listeners.append(listener)
+
+    def remove_batch_listener(self, listener) -> None:
+        self._batch_listeners.remove(listener)
 
     def process_batch(self, relation: str, sign: int, rows: Sequence[Sequence]) -> int:
         """Apply a run of same-``(relation, sign)`` rows as one batch.
@@ -828,6 +867,12 @@ class ShardedEngine:
         self.events_skipped = 0
         self._relations = {rel for rel, _ in program.triggers}
         self._stream_started = False
+        # Flush-path tap, mirroring DeltaEngine: listeners fire once per
+        # routed batch (post-routing — reads through the tap synchronise
+        # with the workers themselves).
+        self._batch_listeners: list = []
+        self._tap_clock = 0
+        self.lsn_source: Optional[callable] = None
         self._serial = DeltaEngine(
             program, mode=mode, strict=False, use_indexes=use_indexes,
             optimize=optimize, second_order=second_order, columnar=columnar,
@@ -934,13 +979,11 @@ class ShardedEngine:
         column = self.spec.column_for(relation)
         if column is None or not self._lanes:
             self._serial._process_batch(batch)
-            return count
-        if count == 1:
+        elif count == 1:
             row = batch.row(0)
             shard = hash(row[column]) % len(self._lanes)
             self._lanes[shard].send_rows(relation, sign, [row])
-            return count
-        if count <= _ROW_ROUTE_THRESHOLD:
+        elif count <= _ROW_ROUTE_THRESHOLD:
             # Short runs: row-level hash routing is cheaper than building
             # per-shard column gathers; each lane transposes its (tiny)
             # slice lazily.
@@ -949,13 +992,37 @@ class ShardedEngine:
             ):
                 if shard_rows:
                     self._lanes[shard].send_rows(relation, sign, shard_rows)
-            return count
-        for shard, shard_columns in enumerate(
-            partition_columns(batch.columns, column, len(self._lanes))
-        ):
-            if shard_columns and shard_columns[0]:
-                self._lanes[shard].send_batch(relation, sign, shard_columns)
+        else:
+            for shard, shard_columns in enumerate(
+                partition_columns(batch.columns, column, len(self._lanes))
+            ):
+                if shard_columns and shard_columns[0]:
+                    self._lanes[shard].send_batch(relation, sign, shard_columns)
+        if self._batch_listeners:
+            self._notify_listeners(batch)
         return count
+
+    def _notify_listeners(self, batch: EventBatch) -> None:
+        """Fire the flush-path tap for one routed batch (see
+        :meth:`DeltaEngine._notify_listeners`).  Routing to worker lanes is
+        fire-and-forget, so listeners that read state must go through the
+        synchronising reads (``results`` / ``merged_maps``)."""
+        self._tap_clock += 1
+        lsn = (
+            self.lsn_source()
+            if self.lsn_source is not None
+            else self._tap_clock
+        )
+        for listener in list(self._batch_listeners):
+            listener(lsn, batch)
+
+    def add_batch_listener(self, listener) -> None:
+        """Register a flush-path tap (see
+        :meth:`DeltaEngine.add_batch_listener`)."""
+        self._batch_listeners.append(listener)
+
+    def remove_batch_listener(self, listener) -> None:
+        self._batch_listeners.remove(listener)
 
     def process_stream(
         self, events: Iterable, batch_size: Optional[int] = DEFAULT_BATCH_SIZE

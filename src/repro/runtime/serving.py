@@ -1,0 +1,854 @@
+"""Reactive view-subscription serving: push deltas, don't poll maps.
+
+The engine on its own is a library — callers push batches and poll
+``results()``.  This module turns it into a *server*: clients subscribe
+to named views (the program's standing queries) and receive incremental
+Z-set deltas of the SQL-visible result rows as triggers fire, the
+serving model of the higher-order delta-processing line of work (views
+kept continuously fresh for many readers).  Three layers:
+
+* :class:`ViewDeltaTap` — the per-view delta tap over the engine's flush
+  path.  It registers as a batch listener
+  (:meth:`~repro.runtime.engine.DeltaEngine.add_batch_listener`), and for
+  every applied batch renders the affected views through
+  :mod:`repro.runtime.views` and emits ``(lsn, view, [(row, weight)])``
+  result deltas.  Subscribers therefore see *SQL result rows*, never raw
+  slot maps; a view is only re-rendered when the batch's trigger writes
+  one of its aggregate slot maps.  LSNs are monotonic (not necessarily
+  dense); on a :class:`~repro.runtime.durability.DurableEngine` they are
+  the WAL LSNs recovery replays, so a subscriber's position is
+  meaningful across restarts.
+
+* the **wire protocol** — length-prefixed JSON frames (4-byte big-endian
+  length, UTF-8 JSON body).  Clients send ``subscribe`` /
+  ``unsubscribe`` / ``publish`` / ``ping`` ops; the server answers with
+  ``snapshot`` / ``delta`` / ``ack`` / ``pong`` / ``error`` frames.
+  Catch-up is *snapshot-then-stream*: a subscriber first receives one
+  ``snapshot`` frame (the view's current row multiset and its LSN),
+  then every subsequent ``delta`` with a strictly greater LSN — a
+  late-joining or lagging client is consistent by construction.
+
+* :class:`ViewServer` / :class:`SubscriberClient` — an asyncio server
+  wrapping any engine (:class:`~repro.runtime.engine.DeltaEngine`,
+  :class:`~repro.runtime.engine.ShardedEngine`,
+  :class:`~repro.runtime.durability.DurableEngine`) with a subscription
+  registry and per-client bounded send queues, and a small blocking
+  client for tests, examples and the CLI.  Ingest (network ``publish``
+  or in-process :meth:`ViewServer.publish`) is serialised, so every
+  subscriber observes one consistent delta sequence.
+
+Backpressure: each client has a bounded frame queue; what happens when a
+slow client fills it is the server's ``backpressure`` policy:
+
+* ``"block"`` — ingest waits for the queue to drain: no client ever
+  misses a delta, but one stalled reader stalls the source (classic
+  flow control; the default);
+* ``"drop"`` — the slow client is disconnected and its subscriptions
+  discarded: the source never stalls, readers must resubscribe (and
+  re-snapshot) after falling behind;
+* ``"coalesce"`` — the client's queued deltas are merged per view
+  (weights summed row-wise, LSN advanced to the newest): the client
+  skips intermediate states but still converges on the live result —
+  correct because Z-set deltas compose additively.
+
+Run ``python -m repro.tools.cli serve ...`` for the standalone server;
+``benchmarks/bench_serving.py`` measures sustained events/sec against
+subscriber fan-out and p99 delivery latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+import time
+from collections import Counter, deque
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import EventError, ServingError
+from repro.runtime.views import result_delta
+
+#: Frame length prefix: one unsigned 32-bit big-endian length.
+_LENGTH = struct.Struct(">I")
+
+#: Frames larger than this are rejected as protocol corruption rather
+#: than allocated (a torn length prefix can claim gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Accepted backpressure policies (see the module docstring).
+BACKPRESSURE_POLICIES = ("block", "drop", "coalesce")
+
+#: Default bound of a subscriber's send queue, in frames.
+DEFAULT_QUEUE_FRAMES = 256
+
+_CLOSE = object()  # writer-task poison pill
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(message: Mapping) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact UTF-8 JSON."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServingError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "protocol limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Inverse of :func:`encode_frame` for one frame body."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServingError(f"undecodable protocol frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServingError(
+            f"protocol frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _frame_length(prefix: bytes) -> int:
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ServingError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            "protocol limit"
+        )
+    return length
+
+
+def _tuple_rows(rows: Iterable[Sequence]) -> list[tuple]:
+    """JSON arrays back to the engine's row tuples."""
+    return [tuple(row) for row in rows]
+
+
+def _tuple_changes(changes: Iterable[Sequence]) -> list[tuple[tuple, int]]:
+    """JSON ``[[row, weight], ...]`` back to ``[(row, weight), ...]``."""
+    return [(tuple(row), weight) for row, weight in changes]
+
+
+def apply_changes(rows: Counter, changes: Iterable[tuple[tuple, int]]) -> Counter:
+    """Fold one delta into an accumulated row multiset, in place.
+
+    ``snapshot ⊎ delta₁ ⊎ delta₂ ⊎ ...`` reproduces the live result —
+    the subscriber-side half of the serving contract (zero-weight rows
+    are evicted, so the counter holds exactly the live multiset).
+    """
+    for row, weight in changes:
+        total = rows.get(row, 0) + weight
+        if total == 0:
+            rows.pop(row, None)
+        else:
+            rows[row] = total
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# The flush-path delta tap
+# ---------------------------------------------------------------------------
+
+
+class ViewDeltaTap:
+    """Renders per-batch result deltas for the program's views.
+
+    Attach via the engine's flush-path listener::
+
+        tap = ViewDeltaTap(engine)
+        engine.add_batch_listener(tap.on_batch)   # or let ViewServer do it
+
+    After every applied batch :meth:`on_batch` re-renders the views whose
+    aggregate slot maps that batch's trigger writes (computed once from
+    the compiled program — unrelated views are never touched) and diffs
+    the rendered rows against the cached previous rendering.  The diff
+    runs over *SQL-visible result rows* — bounded by the view's output,
+    never the engine's internal maps, whose entry counts are typically
+    orders of magnitude larger.
+
+    ``views`` restricts serving to a subset of the program's queries
+    (default: all of them).
+    """
+
+    def __init__(self, engine, views: Optional[Iterable[str]] = None) -> None:
+        program = engine.program
+        known = [query.name for query in program.queries]
+        if views is None:
+            selected = list(known)
+        else:
+            selected = list(views)
+            unknown = sorted(set(selected) - set(known))
+            if unknown:
+                raise ServingError(
+                    f"unknown views {unknown}; this program serves: "
+                    + ", ".join(known)
+                )
+        self.engine = engine
+        self.views = selected
+        #: which served views each (relation, sign) trigger can change:
+        #: exactly those whose slot maps the trigger's statements write.
+        self._affected: dict[tuple[str, int], tuple[str, ...]] = {}
+        for (relation, sign), trigger in program.triggers.items():
+            written = {statement.target for statement in trigger.statements}
+            self._affected[(relation, sign)] = tuple(
+                view
+                for view in selected
+                if written.intersection(program.slot_maps[view])
+            )
+        self._results: dict[str, Counter] = {
+            view: Counter(engine.results(view)) for view in selected
+        }
+        #: LSN of the last observed batch (0 before any event).
+        self.lsn = 0
+
+    def snapshot(self, view: str) -> tuple[int, list[tuple[tuple, int]]]:
+        """The view's current row multiset and its LSN (the catch-up
+        frame a new subscriber starts from)."""
+        if view not in self._results:
+            raise ServingError(
+                f"unknown view {view!r}; this tap serves: "
+                + ", ".join(self.views)
+            )
+        rows = sorted(self._results[view].items(), key=repr)
+        return self.lsn, rows
+
+    def on_batch(self, lsn: int, batch) -> dict[str, list[tuple[tuple, int]]]:
+        """The flush-path listener: result deltas of one applied batch.
+
+        Returns ``{view: [(row, weight), ...]}`` for the views the batch
+        actually changed (often empty — e.g. a batch that only shifts
+        internal join state without moving any rendered aggregate).
+        """
+        self.lsn = lsn
+        deltas: dict[str, list[tuple[tuple, int]]] = {}
+        for view in self._affected.get((batch.relation, batch.sign), ()):
+            current = Counter(self.engine.results(view))
+            changes = result_delta(self._results[view], current)
+            if changes:
+                self._results[view] = current
+                deltas[view] = changes
+        return deltas
+
+
+# ---------------------------------------------------------------------------
+# The asyncio server
+# ---------------------------------------------------------------------------
+
+
+class _ClientState:
+    """Server-side state of one connected client."""
+
+    __slots__ = ("writer", "queue", "views", "name", "dropped", "writer_task")
+
+    def __init__(self, writer, queue_frames: int, name: str) -> None:
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_frames)
+        self.views: set[str] = set()
+        self.name = name
+        self.dropped = False
+        self.writer_task: Optional[asyncio.Task] = None
+
+
+class ViewServer:
+    """The reactive view-subscription server.
+
+    Wraps one engine; accepts framed-protocol clients; fans every
+    applied batch's result deltas out to the view's subscribers.  Usage
+    (inside an event loop)::
+
+        server = ViewServer(engine, port=0)
+        await server.start()
+        ...                        # server.port holds the bound port
+        await server.stop()
+
+    Ingest is serialised through one lock: network ``publish`` ops and
+    in-process :meth:`publish` / :meth:`publish_stream` apply batches in
+    arrival order, and each batch's deltas are fanned out before the
+    next batch applies, so all subscribers observe the same LSN-stamped
+    delta sequence.  Subscriptions snapshot under the same lock —
+    snapshot-then-stream catch-up can neither miss nor duplicate a
+    delta.
+
+    ``backpressure`` picks the slow-client policy (``"block"`` /
+    ``"drop"`` / ``"coalesce"``, see the module docstring);
+    ``queue_frames`` bounds each client's send queue.
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        views: Optional[Iterable[str]] = None,
+        backpressure: str = "block",
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+    ) -> None:
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ServingError(
+                f"unknown backpressure policy {backpressure!r}; choose from "
+                + ", ".join(BACKPRESSURE_POLICIES)
+            )
+        if queue_frames < 2:
+            raise ServingError(
+                f"queue_frames must be >= 2, got {queue_frames!r}"
+            )
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.backpressure = backpressure
+        self.queue_frames = queue_frames
+        self.tap = ViewDeltaTap(engine, views)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ingest_lock = asyncio.Lock()
+        self._staged: list[tuple[int, dict]] = []
+        self._subscribers: dict[str, set[_ClientState]] = {
+            view: set() for view in self.tap.views
+        }
+        self._clients: set[_ClientState] = set()
+        self._client_counter = 0
+        self.clients_dropped = 0
+        self.deltas_sent = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and register the engine tap."""
+        if self._server is not None:
+            raise ServingError("server already started")
+        self.engine.add_batch_listener(self._on_batch)
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener and every client connection (idempotent)."""
+        if self._server is None:
+            return
+        self.engine.remove_batch_listener(self._on_batch)
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for client in list(self._clients):
+            self._disconnect(client)
+        self._clients.clear()
+        for waiters in self._subscribers.values():
+            waiters.clear()
+
+    # -- ingest -------------------------------------------------------------
+
+    def _on_batch(self, lsn: int, batch) -> None:
+        # Runs synchronously inside the engine's flush path; the ingest
+        # coroutine fans the staged deltas out (with backpressure awaits)
+        # once the engine call returns.
+        deltas = self.tap.on_batch(lsn, batch)
+        if deltas:
+            self._staged.append((lsn, deltas))
+
+    async def publish(
+        self, relation: str, sign: int, rows: Sequence[Sequence]
+    ) -> tuple[int, int]:
+        """Apply one batch and fan out its deltas.
+
+        Returns ``(count, lsn)``: rows that reached a trigger, and the
+        tap's LSN after the batch (unchanged when the batch was skipped).
+        """
+        async with self._ingest_lock:
+            count = self.engine.process_batch(relation, sign, list(rows))
+            await self._flush_staged()
+            return count, self.tap.lsn
+
+    async def publish_stream(self, events, batch_size: Optional[int] = None) -> int:
+        """Apply a whole event stream through the serving ingest path.
+
+        Events are grouped into same-``(relation, sign)`` batches (like
+        :meth:`~repro.runtime.engine.DeltaEngine.process_stream`), with
+        fan-out after every batch.  Returns events consumed.
+        """
+        from repro.runtime.engine import DEFAULT_BATCH_SIZE
+        from repro.runtime.events import batches
+
+        size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+        count = 0
+        for batch in batches(events, size):
+            # Through the public entry point so a DurableEngine wrapper
+            # still logs the batch before applying it.
+            async with self._ingest_lock:
+                self.engine.process_batch(batch.relation, batch.sign, batch.rows)
+                await self._flush_staged()
+            count += len(batch)
+        return count
+
+    async def _flush_staged(self) -> None:
+        """Fan staged deltas out to subscribers, in LSN order."""
+        staged, self._staged = self._staged, []
+        for lsn, deltas in staged:
+            ts = time.time()
+            for view, changes in deltas.items():
+                frame = {
+                    "type": "delta",
+                    "view": view,
+                    "lsn": lsn,
+                    "ts": ts,
+                    "changes": [[list(row), weight] for row, weight in changes],
+                }
+                for client in list(self._subscribers.get(view, ())):
+                    await self._deliver(client, frame)
+                    self.deltas_sent += 1
+
+    # -- delivery / backpressure -------------------------------------------
+
+    async def _deliver(self, client: _ClientState, frame: dict) -> bool:
+        """Enqueue one frame under the server's backpressure policy."""
+        if client.dropped:
+            return False
+        if self.backpressure == "block":
+            await client.queue.put(frame)
+            return True
+        try:
+            client.queue.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            pass
+        if self.backpressure == "drop":
+            self.clients_dropped += 1
+            self._disconnect(client)
+            return False
+        self._coalesce(client, frame)
+        return True
+
+    def _coalesce(self, client: _ClientState, frame: dict) -> None:
+        """Merge the client's queued deltas per view to make room.
+
+        Weights sum row-wise and the LSN advances to the newest, so the
+        merged frame moves the subscriber straight to the latest state —
+        Z-set deltas compose additively, intermediate states are simply
+        skipped.  ``ts`` keeps the *oldest* pending stamp, so measured
+        delivery latency still reflects how long the client lagged.
+        Non-delta frames (snapshots, acks, pongs) are preserved in order
+        ahead of the merged deltas.
+        """
+        pending: list[dict] = []
+        while True:
+            try:
+                pending.append(client.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        pending.append(frame)
+        passthrough: list[dict] = []
+        merged: dict[str, dict] = {}
+        for item in pending:
+            if not isinstance(item, dict) or item.get("type") != "delta":
+                passthrough.append(item)
+                continue
+            view = item["view"]
+            slot = merged.get(view)
+            if slot is None:
+                merged[view] = {
+                    "rows": Counter(
+                        {tuple(row): weight for row, weight in item["changes"]}
+                    ),
+                    "lsn": item["lsn"],
+                    "ts": item["ts"],
+                }
+                continue
+            apply_changes(
+                slot["rows"], _tuple_changes(item["changes"])
+            )
+            slot["lsn"] = max(slot["lsn"], item["lsn"])
+            slot["ts"] = min(slot["ts"], item["ts"])
+        for item in passthrough:
+            client.queue.put_nowait(item)
+        for view, slot in merged.items():
+            changes = sorted(slot["rows"].items(), key=repr)
+            if not changes:
+                continue  # deltas cancelled out entirely
+            client.queue.put_nowait(
+                {
+                    "type": "delta",
+                    "view": view,
+                    "lsn": slot["lsn"],
+                    "ts": slot["ts"],
+                    "coalesced": True,
+                    "changes": [[list(row), weight] for row, weight in changes],
+                }
+            )
+
+    def _disconnect(self, client: _ClientState) -> None:
+        """Drop one client: unregister, stop its writer, close the socket."""
+        if client.dropped:
+            return
+        client.dropped = True
+        for view in client.views:
+            self._subscribers.get(view, set()).discard(client)
+        self._clients.discard(client)
+        if client.writer_task is not None:
+            client.writer_task.cancel()
+        try:
+            client.writer.close()
+        except Exception:
+            pass
+
+    # -- connection handling ------------------------------------------------
+
+    async def _writer_loop(self, client: _ClientState) -> None:
+        writer = client.writer
+        try:
+            while True:
+                frame = await client.queue.get()
+                if frame is _CLOSE:
+                    break
+                writer.write(encode_frame(frame))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_client(self, reader, writer) -> None:
+        self._client_counter += 1
+        client = _ClientState(
+            writer, self.queue_frames, f"client-{self._client_counter}"
+        )
+        client.writer_task = asyncio.ensure_future(self._writer_loop(client))
+        self._clients.add(client)
+        try:
+            while not client.dropped:
+                prefix = await reader.readexactly(_LENGTH.size)
+                body = await reader.readexactly(_frame_length(prefix))
+                await self._dispatch(client, decode_frame(body))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except ServingError as exc:
+            await self._deliver(client, {"type": "error", "message": str(exc)})
+        finally:
+            if not client.dropped:
+                for view in client.views:
+                    self._subscribers.get(view, set()).discard(client)
+                self._clients.discard(client)
+                try:
+                    client.queue.put_nowait(_CLOSE)
+                except asyncio.QueueFull:
+                    client.writer_task.cancel()
+                await asyncio.gather(client.writer_task, return_exceptions=True)
+
+    async def _dispatch(self, client: _ClientState, message: dict) -> None:
+        op = message.get("op")
+        if op == "subscribe":
+            await self._op_subscribe(client, message)
+        elif op == "unsubscribe":
+            view = message.get("view")
+            client.views.discard(view)
+            self._subscribers.get(view, set()).discard(client)
+            await self._deliver(
+                client,
+                {"type": "unsubscribed", "view": view, "lsn": self.tap.lsn},
+            )
+        elif op == "publish":
+            await self._op_publish(client, message)
+        elif op == "ping":
+            await self._deliver(client, {"type": "pong", "lsn": self.tap.lsn})
+        else:
+            await self._deliver(
+                client,
+                {"type": "error", "message": f"unknown protocol op {op!r}"},
+            )
+
+    async def _op_subscribe(self, client: _ClientState, message: dict) -> None:
+        view = message.get("view")
+        # Snapshot and registration are atomic with respect to ingest, so
+        # the subscriber's stream is exactly "snapshot at LSN, then every
+        # delta with a greater LSN".
+        async with self._ingest_lock:
+            try:
+                lsn, rows = self.tap.snapshot(view)
+            except ServingError as exc:
+                await self._deliver(
+                    client, {"type": "error", "message": str(exc)}
+                )
+                return
+            client.views.add(view)
+            self._subscribers[view].add(client)
+            await self._deliver(
+                client,
+                {
+                    "type": "snapshot",
+                    "view": view,
+                    "lsn": lsn,
+                    "rows": [[list(row), weight] for row, weight in rows],
+                },
+            )
+
+    async def _op_publish(self, client: _ClientState, message: dict) -> None:
+        try:
+            relation = message["relation"]
+            sign = message.get("sign", 1)
+            rows = _tuple_rows(message["rows"])
+        except (KeyError, TypeError) as exc:
+            await self._deliver(
+                client,
+                {"type": "error", "message": f"malformed publish frame: {exc}"},
+            )
+            return
+        try:
+            count, lsn = await self.publish(relation, sign, rows)
+        except EventError as exc:
+            await self._deliver(client, {"type": "error", "message": str(exc)})
+            return
+        await self._deliver(
+            client, {"type": "ack", "lsn": lsn, "count": count}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted server (for synchronous callers: tests, benchmarks, CLI)
+# ---------------------------------------------------------------------------
+
+
+class ServerThread:
+    """Runs a :class:`ViewServer` on a private event loop in a daemon
+    thread, for synchronous callers::
+
+        with ServerThread(engine) as handle:
+            client = SubscriberClient(handle.host, handle.port)
+            ...
+
+    The engine must not be used from other threads while the server is
+    running — all processing goes through the server's serialised ingest
+    (network ``publish`` frames or :meth:`publish` /
+    :meth:`publish_stream`, which hop onto the loop thread).
+    """
+
+    def __init__(self, engine, **server_kwargs) -> None:
+        self.server = ViewServer(engine, **server_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise ServingError("server thread already started")
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # surfaced to start() below
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-view-server", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread.join()
+            raise failure[0]
+        return self
+
+    def publish(self, relation: str, sign: int, rows) -> tuple[int, int]:
+        """In-process ingest: apply one batch on the loop thread."""
+        return self._call(self.server.publish(relation, sign, list(rows)))
+
+    def publish_stream(self, events, batch_size: Optional[int] = None) -> int:
+        """In-process ingest of a whole stream (grouped into batches)."""
+        return self._call(
+            self.server.publish_stream(list(events), batch_size=batch_size)
+        )
+
+    def _call(self, coroutine):
+        if self._loop is None:
+            raise ServingError("server thread is not running")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        self._call(self.server.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# The blocking subscriber client
+# ---------------------------------------------------------------------------
+
+
+class SubscriberClient:
+    """A small blocking client of the framed subscription protocol.
+
+    Intended for tests, examples and benchmark drivers (a production
+    reader would speak the protocol asynchronously)::
+
+        client = SubscriberClient(host, port)
+        snapshot = client.subscribe("q")
+        rows = rows_from_snapshot(snapshot)        # Counter of row tuples
+        while ...:
+            message = client.recv()
+            if message["type"] == "delta":
+                apply_changes(rows, message["changes"])
+
+    Frames arrive strictly in server order; :meth:`publish`,
+    :meth:`subscribe`, :meth:`ping` and :meth:`unsubscribe` wait for
+    their reply frame while buffering any interleaved deltas, which
+    later :meth:`recv` calls return first-in-first-out.  Server
+    ``error`` frames raise :class:`~repro.errors.ServingError`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._pending: deque[dict] = deque()
+        self._closed = False
+
+    # -- framing ------------------------------------------------------------
+
+    def _send(self, message: Mapping) -> None:
+        if self._closed:
+            raise ServingError("client is closed")
+        self._sock.sendall(encode_frame(message))
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ServingError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv_frame(self) -> dict:
+        length = _frame_length(self._read_exactly(_LENGTH.size))
+        message = decode_frame(self._read_exactly(length))
+        if message.get("type") == "delta":
+            message["changes"] = _tuple_changes(message["changes"])
+        elif message.get("type") == "snapshot":
+            message["rows"] = _tuple_changes(message["rows"])
+        return message
+
+    # -- requests -----------------------------------------------------------
+
+    def recv(self) -> dict:
+        """The next server frame (buffered frames first), rows tupled."""
+        if self._pending:
+            return self._pending.popleft()
+        return self._recv_frame()
+
+    def _wait_for(self, frame_type: str, view: Optional[str] = None) -> dict:
+        while True:
+            message = self._recv_frame()
+            if message.get("type") == "error":
+                raise ServingError(message.get("message", "server error"))
+            if message.get("type") == frame_type and (
+                view is None or message.get("view") == view
+            ):
+                return message
+            self._pending.append(message)
+
+    def subscribe(self, view: str) -> dict:
+        """Subscribe; returns the catch-up ``snapshot`` frame."""
+        self._send({"op": "subscribe", "view": view})
+        return self._wait_for("snapshot", view)
+
+    def unsubscribe(self, view: str) -> dict:
+        self._send({"op": "unsubscribe", "view": view})
+        return self._wait_for("unsubscribed", view)
+
+    def publish(self, relation: str, sign: int, rows: Iterable[Sequence]) -> dict:
+        """Push one batch; returns the ``ack`` frame (``lsn``, ``count``)."""
+        self._send(
+            {
+                "op": "publish",
+                "relation": relation,
+                "sign": sign,
+                "rows": [list(row) for row in rows],
+            }
+        )
+        return self._wait_for("ack")
+
+    def ping(self) -> int:
+        """Round-trip barrier; returns the server's current LSN.
+
+        Because all frames to this client flow through one ordered
+        queue, the returned pong also guarantees every delta fanned out
+        before it has been delivered.
+        """
+        self._send({"op": "ping"})
+        return self._wait_for("pong")["lsn"]
+
+    def drain_deltas(self, view: str, until_lsn: int) -> list[dict]:
+        """Receive until a frame for ``view`` reaches ``until_lsn``.
+
+        Returns the delta frames for ``view`` (other views' frames stay
+        buffered).  A ping barrier makes ``until_lsn`` reachable even
+        when the final batch changed nothing for this view.
+        """
+        deltas: list[dict] = []
+        barrier = self.ping()
+        if barrier < until_lsn:
+            raise ServingError(
+                f"server LSN {barrier} has not reached {until_lsn}"
+            )
+        while self._pending:
+            message = self._pending.popleft()
+            if message.get("type") == "delta" and message.get("view") == view:
+                deltas.append(message)
+        return deltas
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SubscriberClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def rows_from_snapshot(snapshot: Mapping) -> Counter:
+    """The row multiset a ``snapshot`` frame carries, as a Counter."""
+    return Counter({row: weight for row, weight in snapshot["rows"]})

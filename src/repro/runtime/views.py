@@ -71,6 +71,31 @@ def result_rows_to_dicts(query: TranslatedQuery, rows: list[tuple]) -> list[dict
     return [dict(zip(names, row)) for row in rows]
 
 
+def result_delta(
+    previous: Mapping[tuple, int], current: Mapping[tuple, int]
+) -> list[tuple[tuple, int]]:
+    """The Z-set delta between two result-row multisets.
+
+    Both sides map result rows to multiplicities (a query result is a
+    multiset: two groups may render identical rows).  The returned
+    ``[(row, weight), ...]`` pairs — positive weights assert rows,
+    negative weights retract them — satisfy ``previous + delta ==
+    current`` under multiset addition, which is exactly the contract the
+    serving layer streams to subscribers (deterministically ordered for
+    stable wire frames).
+    """
+    delta: list[tuple[tuple, int]] = []
+    for row, count in current.items():
+        weight = count - previous.get(row, 0)
+        if weight:
+            delta.append((row, weight))
+    for row, count in previous.items():
+        if count and row not in current:
+            delta.append((row, -count))
+    delta.sort(key=lambda pair: repr(pair[0]))
+    return delta
+
+
 def _find_query(program: CompiledProgram, name: Optional[str]) -> TranslatedQuery:
     if name is None:
         if len(program.queries) != 1:

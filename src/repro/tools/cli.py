@@ -6,6 +6,9 @@ archived-stream path:
 
 * ``compile``  — show the compilation trace / IR / generated code;
 * ``run``      — maintain queries over a CSV event stream, print results;
+* ``serve``    — the network interface: a reactive view-subscription
+  server (:mod:`repro.runtime.serving`) — clients subscribe to the
+  standing query and receive incremental result deltas as events arrive;
 * ``recover``  — rebuild engine state from a durable directory and print
   the recovered results;
 * ``bench``    — quick throughput measurement on a built-in workload.
@@ -20,6 +23,10 @@ Usage examples::
     python -m repro.tools.cli run --ddl schema.sql --query "SELECT ..." \
         --stream events.csv --durable state/ --fsync batch \
         --snapshot-every 100000
+    python -m repro.tools.cli serve --ddl schema.sql --query "SELECT ..." \
+        --port 8765 --backpressure coalesce
+    python -m repro.tools.cli serve --ddl schema.sql --query "SELECT ..." \
+        --stream events.csv --oneshot
     python -m repro.tools.cli recover --ddl schema.sql --query "SELECT ..." \
         --durable state/
     python -m repro.tools.cli bench --workload finance --events 20000
@@ -172,6 +179,57 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.runtime.durability import DurableEngine
+    from repro.runtime.serving import ViewServer
+
+    catalog = _load_catalog(args)
+    program = compile_sql(args.query, catalog, name="q")
+    engine = _make_engine(program, args)
+    if isinstance(engine, DurableEngine) and engine.lsn:
+        print(f"-- resumed durable state at LSN {engine.lsn} "
+              f"({engine.events_processed} events) --")
+
+    async def _serve() -> None:
+        server = ViewServer(
+            engine, host=args.host, port=args.port,
+            backpressure=args.backpressure, queue_frames=args.queue_frames,
+        )
+        await server.start()
+        print(f"-- serving view 'q' on {server.host}:{server.port} "
+              f"(backpressure={args.backpressure}) --", flush=True)
+        try:
+            if args.stream:
+                consumed = await server.publish_stream(
+                    csv_source(args.stream, catalog)
+                )
+                print(f"-- streamed {consumed} events from {args.stream}, "
+                      f"now at LSN {server.tap.lsn} --", flush=True)
+            if not args.oneshot:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\n-- server stopped --")
+    print("== final result ==")
+    for row in engine.results("q"):
+        print("  ", row)
+    if isinstance(engine, DurableEngine):
+        engine.snapshot()
+        print(f"-- durable state at LSN {engine.lsn} in {engine.directory} --")
+        engine.close()
+    elif isinstance(engine, ShardedEngine):
+        engine.close()
+    return 0
+
+
 def cmd_recover(args) -> int:
     from repro.runtime.durability import recover_engine
 
@@ -294,6 +352,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --durable, checkpoint every N events "
                        "(bounds the WAL suffix a restart replays)")
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="reactive view-subscription server (push deltas)"
+    )
+    common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="listen address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 = pick a free port)")
+    p_serve.add_argument("--backpressure",
+                         choices=["block", "drop", "coalesce"],
+                         default="block",
+                         help="slow-subscriber policy (default: block)")
+    p_serve.add_argument("--queue-frames", type=int, default=256,
+                         help="per-subscriber send-queue bound in frames")
+    p_serve.add_argument("--stream", help="CSV event file to stream through "
+                         "the server before (or instead of) live traffic")
+    p_serve.add_argument("--oneshot", action="store_true",
+                         help="exit after streaming --stream instead of "
+                         "serving forever")
+    p_serve.add_argument("--mode", choices=["compiled", "interpreted"],
+                         default="compiled")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="hash-partitioned parallel shard lanes "
+                         "(1 = single engine)")
+    p_serve.add_argument("--no-opt", action="store_true",
+                         help="disable the IR optimisation pipeline")
+    p_serve.add_argument("--no-columnar", action="store_true",
+                         help="keep every maintained map in plain dict "
+                         "storage")
+    p_serve.add_argument("--durable", metavar="DIR",
+                         help="serve over a crash-durable engine: WAL + "
+                         "snapshots in DIR; delivered LSNs are the WAL's")
+    p_serve.add_argument("--fsync", choices=["always", "batch", "none"],
+                         default="batch",
+                         help="WAL fsync policy with --durable")
+    p_serve.add_argument("--snapshot-every", type=int, default=None,
+                         metavar="N",
+                         help="with --durable, checkpoint every N events")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_recover = sub.add_parser(
         "recover", help="rebuild engine state from a durable directory"

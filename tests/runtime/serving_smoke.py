@@ -1,0 +1,147 @@
+"""CI serving smoke: a live server must stream exactly the offline answer.
+
+For fixed-seed finance workload streams this script starts a real
+:class:`~repro.runtime.serving.ViewServer` (thread-hosted, loopback
+socket), connects framed-protocol subscribers — one from the start, one
+joining mid-stream — pushes the stream through the serving ingest path,
+and asserts every subscriber's accumulated state (catch-up snapshot plus
+streamed deltas) equals a reference engine's offline
+``query_results``.  One scenario runs over a
+:class:`~repro.runtime.durability.DurableEngine`, checking that served
+LSNs are the WAL's.
+
+Run ``python tests/runtime/serving_smoke.py`` (with ``PYTHONPATH=src``).
+Exit status 0 = every scenario in parity.  A watchdog alarm aborts the
+run if anything wedges (the CI job adds its own hard timeout as well).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.algebra.translate import translate_sql  # noqa: E402
+from repro.compiler import compile_queries  # noqa: E402
+from repro.runtime import DeltaEngine  # noqa: E402
+from repro.runtime.durability import DurableEngine  # noqa: E402
+from repro.runtime.serving import (  # noqa: E402
+    ServerThread,
+    SubscriberClient,
+    apply_changes,
+    rows_from_snapshot,
+)
+
+#: (query, durable?) scenarios; every one must reach exact parity.
+SCENARIOS = [
+    ("vwap", False),
+    ("bsp", False),
+    ("bsp", True),
+]
+
+EVENTS = 600
+SEED = 2009
+BATCH_SIZE = 32
+WATCHDOG_SECONDS = 180
+
+
+def _program(query_name: str):
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+    catalog = finance_catalog()
+    translated = translate_sql(
+        FINANCE_QUERIES[query_name], catalog, name=query_name
+    )
+    return compile_queries([translated], catalog)
+
+
+def _stream():
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    return list(OrderBookGenerator(seed=SEED).events(EVENTS))
+
+
+def run_scenario(query_name: str, durable: bool, stream) -> list[str]:
+    """Run one serve/subscribe/stream/compare cycle; returns failures."""
+    program = _program(query_name)
+    reference = DeltaEngine(program)
+    reference.process_stream(stream, batch_size=BATCH_SIZE)
+    offline = Counter(reference.results(query_name))
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        if durable:
+            engine = DurableEngine(program, tmp, fsync="batch")
+        else:
+            engine = DeltaEngine(program)
+        half = len(stream) // 2
+        with ServerThread(engine) as handle:
+            early = SubscriberClient(handle.host, handle.port)
+            early_rows = rows_from_snapshot(early.subscribe(query_name))
+            handle.publish_stream(stream[:half], batch_size=BATCH_SIZE)
+            # The mid-stream joiner catches up from its snapshot alone.
+            late = SubscriberClient(handle.host, handle.port)
+            late_rows = rows_from_snapshot(late.subscribe(query_name))
+            handle.publish_stream(stream[half:], batch_size=BATCH_SIZE)
+            barrier = early.ping()
+            for name, client, rows in [
+                ("early", early, early_rows),
+                ("late", late, late_rows),
+            ]:
+                for frame in client.drain_deltas(query_name, barrier):
+                    if durable and frame["lsn"] > engine._wal.last_lsn:
+                        failures.append(
+                            f"{query_name}/{name}: delta LSN {frame['lsn']} "
+                            f"beyond WAL tail {engine._wal.last_lsn}"
+                        )
+                    apply_changes(rows, frame["changes"])
+                if rows != offline:
+                    failures.append(
+                        f"{query_name}/{name}: accumulated state diverges "
+                        f"from offline query_results "
+                        f"({len(rows)} vs {len(offline)} rows)"
+                    )
+            live = Counter(engine.results(query_name))
+            if live != offline:
+                failures.append(
+                    f"{query_name}: served engine diverges from reference"
+                )
+            early.close()
+            late.close()
+        if durable:
+            engine.close()
+    return failures
+
+
+def main() -> int:
+    signal.signal(signal.SIGALRM, lambda *_: sys.exit("serving smoke wedged"))
+    signal.alarm(WATCHDOG_SECONDS)
+    stream = _stream()
+    failures: list[str] = []
+    for query_name, durable in SCENARIOS:
+        scenario_failures = run_scenario(query_name, durable, stream)
+        mode = "durable" if durable else "in-memory"
+        if scenario_failures:
+            failures.extend(scenario_failures)
+            for line in scenario_failures:
+                print(f"FAIL {line}")
+        else:
+            print(
+                f"ok   {query_name:<6} {mode:<9} {EVENTS} events, "
+                "early + mid-stream subscribers in parity"
+            )
+    if failures:
+        print(f"{len(failures)} serving-smoke check(s) FAILED")
+        return 1
+    print(f"all {len(SCENARIOS)} serving scenarios streamed the offline answer")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

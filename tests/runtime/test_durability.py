@@ -218,6 +218,96 @@ def test_wal_rejects_unknown_policy_and_closed_appends(tmp_path):
         wal.append("R", 1, ([1],), 1)
 
 
+def test_wal_truncate_before_removes_covered_segments(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none", segment_bytes=256) as wal:
+        _append_n(wal, 30)
+        wal.sync()
+        before = sorted(tmp_path.glob("wal-*.log"))
+        assert len(before) > 2
+        removed = wal.truncate_before(wal.last_lsn)
+        assert removed  # everything but the active segment retired
+        survivors = sorted(tmp_path.glob("wal-*.log"))
+        assert survivors == [before[-1]]
+        # Replay from the watermark still works over the survivor.
+        assert list(WriteAheadLog.replay(tmp_path, after_lsn=30)) == []
+        _append_n(wal, 2, start=30)
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path, after_lsn=30)] == [31, 32]
+
+
+def test_wal_truncate_before_keeps_uncovered_suffix(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none", segment_bytes=256) as wal:
+        _append_n(wal, 30)
+        wal.sync()
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        # A watermark mid-log must keep the segment holding watermark+1
+        # and everything after it.
+        watermark = 10
+        wal.truncate_before(watermark)
+        survivors = sorted(tmp_path.glob("wal-*.log"))
+        assert survivors and len(survivors) <= len(segments)
+        lsns = [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path, after_lsn=watermark)]
+        assert lsns == list(range(watermark + 1, 31))
+
+
+def test_wal_truncate_before_never_removes_active_segment(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none") as wal:  # one segment only
+        _append_n(wal, 5)
+        wal.sync()
+        assert wal.truncate_before(wal.last_lsn) == []
+        assert len(list(tmp_path.glob("wal-*.log"))) == 1
+        _append_n(wal, 1, start=5)
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path)] == [1, 2, 3, 4, 5, 6]
+
+
+def test_durable_snapshot_truncates_wal_and_recovers(tmp_path):
+    program = _program()
+    with DurableEngine(
+        program, tmp_path, fsync="batch", segment_bytes=256
+    ) as engine:
+        for i in range(40):
+            engine.process_batch("R", 1, [(i % 4, i)])
+        engine.snapshot()
+        after_first = len(list(tmp_path.glob("wal-*.log")))
+        # First checkpoint retires every sealed segment: with a single
+        # retained snapshot its own LSN is the oldest watermark.
+        assert after_first == 1
+        for i in range(40, 80):
+            engine.process_batch("R", 1, [(i % 4, i)])
+        grown = len(list(tmp_path.glob("wal-*.log")))
+        engine.snapshot()
+        # Second checkpoint truncates only to the *oldest retained*
+        # snapshot (keep=2), so the suffix the fallback path may replay
+        # survives.
+        assert len(list(tmp_path.glob("wal-*.log"))) <= grown
+        expected = engine.results("q")
+    recovered, lsn = recover_engine(program, tmp_path)
+    assert recovered.results("q") == expected
+    assert lsn == 80
+
+
+def test_durable_truncation_preserves_corrupt_snapshot_fallback(tmp_path):
+    program = _program()
+    with DurableEngine(
+        program, tmp_path, fsync="batch", segment_bytes=256
+    ) as engine:
+        for i in range(30):
+            engine.process_batch("R", 1, [(i % 3, i)])
+        engine.snapshot()
+        for i in range(30, 60):
+            engine.process_batch("R", 1, [(i % 3, i)])
+        engine.snapshot()
+        expected = engine.results("q")
+    snapshots = sorted(tmp_path.glob("snapshot-*.snap"))
+    assert len(snapshots) == 2
+    # Corrupt the newest snapshot: recovery must fall back to the older
+    # one and replay the WAL suffix truncation left in place.
+    data = bytearray(snapshots[-1].read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    snapshots[-1].write_bytes(bytes(data))
+    recovered, _ = recover_engine(program, tmp_path)
+    assert recovered.results("q") == expected
+
+
 # ---------------------------------------------------------------------------
 # Snapshots
 # ---------------------------------------------------------------------------

@@ -1,0 +1,387 @@
+"""Units and end-to-end checks for the view-subscription serving layer.
+
+Covers the frame codec, the result-delta algebra, the flush-path
+:class:`~repro.runtime.serving.ViewDeltaTap`, the asyncio
+:class:`~repro.runtime.serving.ViewServer` with its blocking
+:class:`~repro.runtime.serving.SubscriberClient` (snapshot-then-stream
+parity, late joiners, protocol errors), the three backpressure policies,
+and serving over sharded and durable engines (where delivered LSNs are
+the WAL's).  The cross-engine streaming property lives in
+``test_serving_property.py``; the CI smoke entry point is
+``serving_smoke.py``.
+"""
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.algebra.translate import translate_sql
+from repro.compiler import compile_queries, compile_sql
+from repro.errors import ServingError
+from repro.runtime import DeltaEngine, ShardedEngine, StreamEvent
+from repro.runtime.durability import DurableEngine
+from repro.runtime.serving import (
+    ServerThread,
+    SubscriberClient,
+    ViewDeltaTap,
+    ViewServer,
+    _ClientState,
+    apply_changes,
+    decode_frame,
+    encode_frame,
+    rows_from_snapshot,
+)
+from repro.runtime.views import result_delta
+from repro.sql.catalog import Catalog
+
+CATALOG_DDL = """
+CREATE STREAM R (A int, B int);
+CREATE STREAM S (B int, C int);
+"""
+
+
+def _program(query="SELECT A, sum(B) FROM R GROUP BY A"):
+    return compile_sql(query, Catalog.from_script(CATALOG_DDL), name="q")
+
+
+def _two_view_program():
+    catalog = Catalog.from_script(CATALOG_DDL)
+    return compile_queries(
+        [
+            translate_sql("SELECT A, sum(B) FROM R GROUP BY A", catalog, name="qr"),
+            translate_sql("SELECT B, sum(C) FROM S GROUP BY B", catalog, name="qs"),
+        ],
+        catalog,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+
+def test_frame_codec_round_trips():
+    message = {"op": "publish", "relation": "R", "rows": [[1, 2.5], [0, -3]]}
+    frame = encode_frame(message)
+    length = int.from_bytes(frame[:4], "big")
+    assert length == len(frame) - 4
+    assert decode_frame(frame[4:]) == message
+
+
+def test_frame_codec_rejects_garbage():
+    with pytest.raises(ServingError):
+        decode_frame(b"\xff\xfe not json")
+    with pytest.raises(ServingError):
+        decode_frame(b"[1, 2, 3]")  # valid JSON, not an object
+
+
+# ---------------------------------------------------------------------------
+# Delta algebra helpers
+# ---------------------------------------------------------------------------
+
+
+def test_result_delta_asserts_and_retracts():
+    previous = Counter({(1, 10): 1, (2, 20): 2})
+    current = Counter({(1, 15): 1, (2, 20): 1})
+    delta = result_delta(previous, current)
+    assert apply_changes(Counter(previous), delta) == current
+    assert dict(delta) == {(1, 10): -1, (1, 15): 1, (2, 20): -1}
+
+
+def test_apply_changes_evicts_zero_rows():
+    rows = Counter({(1,): 1})
+    apply_changes(rows, [((1,), -1), ((2,), 1)])
+    assert dict(rows) == {(2,): 1}
+
+
+# ---------------------------------------------------------------------------
+# The flush-path delta tap
+# ---------------------------------------------------------------------------
+
+
+def test_tap_rejects_unknown_view():
+    engine = DeltaEngine(_program())
+    with pytest.raises(ServingError, match="unknown view"):
+        ViewDeltaTap(engine, views=["nope"])
+    tap = ViewDeltaTap(engine)
+    with pytest.raises(ServingError, match="unknown view"):
+        tap.snapshot("nope")
+
+
+def test_tap_snapshot_then_deltas_reproduce_results():
+    engine = DeltaEngine(_program())
+    engine.process_batch("R", 1, [(1, 10), (2, 20)])
+    tap = ViewDeltaTap(engine)
+    engine.add_batch_listener(tap.on_batch)
+    lsn, rows = tap.snapshot("q")
+    accumulated = Counter(dict(rows))
+    deltas = []
+    engine.add_batch_listener(
+        lambda batch_lsn, batch: None  # second listener must not disturb
+    )
+    captured = []
+    original = tap.on_batch
+    engine.remove_batch_listener(original)
+
+    def recording(batch_lsn, batch):
+        captured.append((batch_lsn, original(batch_lsn, batch)))
+
+    engine.add_batch_listener(recording)
+    engine.process_batch("R", 1, [(1, 5)])
+    engine.process_batch("R", -1, [(2, 20)])
+    for batch_lsn, delta in captured:
+        assert batch_lsn > lsn
+        for changes in delta.values():
+            apply_changes(accumulated, changes)
+    assert accumulated == Counter(engine.results("q"))
+
+
+def test_tap_renders_only_affected_views():
+    engine = DeltaEngine(_two_view_program())
+    tap = ViewDeltaTap(engine)
+    assert tap._affected[("R", 1)] == ("qr",)
+    assert tap._affected[("S", 1)] == ("qs",)
+    engine.add_batch_listener(tap.on_batch)
+    deltas = []
+    engine.remove_batch_listener(tap.on_batch)
+    engine.add_batch_listener(lambda lsn, b: deltas.append(tap.on_batch(lsn, b)))
+    engine.process_batch("R", 1, [(1, 10)])
+    assert list(deltas[-1]) == ["qr"]
+    engine.process_batch("S", 1, [(7, 3)])
+    assert list(deltas[-1]) == ["qs"]
+
+
+def test_tap_view_subset_restriction():
+    engine = DeltaEngine(_two_view_program())
+    tap = ViewDeltaTap(engine, views=["qs"])
+    assert tap.views == ["qs"]
+    assert tap._affected[("R", 1)] == ()
+    with pytest.raises(ServingError):
+        tap.snapshot("qr")
+
+
+# ---------------------------------------------------------------------------
+# Server end-to-end (thread-hosted server, blocking client)
+# ---------------------------------------------------------------------------
+
+
+def test_subscribe_publish_delta_parity():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            snapshot = sub.subscribe("q")
+            rows = rows_from_snapshot(snapshot)
+            assert rows == Counter()
+            with SubscriberClient(handle.host, handle.port) as publisher:
+                ack1 = publisher.publish("R", 1, [(1, 10), (2, 20)])
+                ack2 = publisher.publish("R", -1, [(2, 20)])
+            assert ack2["lsn"] > ack1["lsn"]
+            for frame in sub.drain_deltas("q", ack2["lsn"]):
+                assert frame["lsn"] > snapshot["lsn"]
+                apply_changes(rows, frame["changes"])
+            assert rows == Counter(engine.results("q"))
+
+
+def test_late_joiner_snapshot_then_stream():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        handle.publish("R", 1, [(1, 10), (2, 20)])
+        with SubscriberClient(handle.host, handle.port) as late:
+            snapshot = late.subscribe("q")
+            rows = rows_from_snapshot(snapshot)
+            # The snapshot already reflects the pre-subscription history.
+            assert rows == Counter(engine.results("q"))
+            _, lsn = handle.publish("R", 1, [(1, 5)])
+            for frame in late.drain_deltas("q", lsn):
+                apply_changes(rows, frame["changes"])
+            assert rows == Counter(engine.results("q"))
+
+
+def test_unsubscribe_stops_deltas():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            sub.subscribe("q")
+            sub.unsubscribe("q")
+            handle.publish("R", 1, [(1, 10)])
+            lsn = sub.ping()
+            assert lsn >= 1
+            assert not sub._pending  # no delta slipped through after the pong
+
+
+def test_protocol_errors_are_reported():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as client:
+            with pytest.raises(ServingError, match="unknown view"):
+                client.subscribe("nope")
+            # The connection survives an error frame.
+            client._send({"op": "warble"})
+            message = client.recv()
+            assert message["type"] == "error"
+            assert "unknown protocol op" in message["message"]
+            client._send({"op": "publish", "rows": [[1]]})  # no relation
+            message = client.recv()
+            assert message["type"] == "error"
+            assert "malformed publish" in message["message"]
+            assert client.subscribe("q")["lsn"] == 0
+
+
+def test_publish_stream_groups_batches():
+    engine = DeltaEngine(_program())
+    events = [StreamEvent("R", 1, (i % 3, i)) for i in range(20)]
+    reference = DeltaEngine(_program())
+    for event in events:
+        reference.process(event)
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            snapshot = sub.subscribe("q")
+            rows = rows_from_snapshot(snapshot)
+            consumed = handle.publish_stream(events, batch_size=4)
+            assert consumed == len(events)
+            for frame in sub.drain_deltas("q", sub.ping()):
+                apply_changes(rows, frame["changes"])
+            assert rows == Counter(reference.results("q"))
+
+
+def test_sharded_engine_serving_parity():
+    program = _program()
+    engine = ShardedEngine(program, shards=2)
+    reference = DeltaEngine(program)
+    events = [StreamEvent("R", 1, (i % 4, i)) for i in range(32)]
+    for event in events:
+        reference.process(event)
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            rows = rows_from_snapshot(sub.subscribe("q"))
+            handle.publish_stream(events, batch_size=8)
+            for frame in sub.drain_deltas("q", sub.ping()):
+                apply_changes(rows, frame["changes"])
+            assert rows == Counter(reference.results("q"))
+
+
+def test_durable_engine_serves_wal_lsns(tmp_path):
+    engine = DurableEngine(_program(), tmp_path, fsync="batch")
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            rows = rows_from_snapshot(sub.subscribe("q"))
+            acks = [
+                handle.publish("R", 1, [(1, 10)]),
+                handle.publish("R", 1, [(2, 20)]),
+                handle.publish("R", -1, [(1, 10)]),
+            ]
+            lsns = [lsn for _, lsn in acks]
+            # Served LSNs are the durability LSNs: one WAL frame per
+            # batch, strictly increasing, ending at the log's tail.
+            assert lsns == sorted(lsns)
+            assert lsns[-1] == engine._wal.last_lsn
+            frames = sub.drain_deltas("q", lsns[-1])
+            assert [frame["lsn"] for frame in frames] == lsns
+            for frame in frames:
+                apply_changes(rows, frame["changes"])
+            assert rows == Counter(engine.results("q"))
+    engine.close()
+
+
+def test_server_rejects_bad_options():
+    engine = DeltaEngine(_program())
+    with pytest.raises(ServingError, match="backpressure"):
+        ViewServer(engine, backpressure="panic")
+    with pytest.raises(ServingError, match="queue_frames"):
+        ViewServer(engine, queue_frames=1)
+    with pytest.raises(ServingError, match="unknown view"):
+        ViewServer(engine, views=["nope"])
+
+
+# ---------------------------------------------------------------------------
+# Backpressure policies (event-loop level, no sockets)
+# ---------------------------------------------------------------------------
+
+
+class _FakeWriter:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def _delta_frame(view, lsn, ts, changes):
+    return {
+        "type": "delta",
+        "view": view,
+        "lsn": lsn,
+        "ts": ts,
+        "changes": [[list(row), weight] for row, weight in changes],
+    }
+
+
+def test_drop_policy_disconnects_slow_client():
+    async def scenario():
+        server = ViewServer(
+            DeltaEngine(_program()), backpressure="drop", queue_frames=2
+        )
+        client = _ClientState(_FakeWriter(), queue_frames=2, name="slow")
+        server._clients.add(client)
+        server._subscribers["q"].add(client)
+        client.views.add("q")
+        for lsn in (1, 2):  # fill the bounded queue
+            assert await server._deliver(client, _delta_frame("q", lsn, 0.0, []))
+        assert not await server._deliver(client, _delta_frame("q", 3, 0.0, []))
+        assert client.dropped
+        assert client.writer.closed
+        assert server.clients_dropped == 1
+        assert client not in server._subscribers["q"]
+        # Further deliveries to a dropped client are no-ops.
+        assert not await server._deliver(client, _delta_frame("q", 4, 0.0, []))
+
+    asyncio.run(scenario())
+
+
+def test_coalesce_policy_merges_queued_deltas():
+    async def scenario():
+        server = ViewServer(
+            DeltaEngine(_program()), backpressure="coalesce", queue_frames=2
+        )
+        client = _ClientState(_FakeWriter(), queue_frames=2, name="laggy")
+        await server._deliver(
+            client, _delta_frame("q", 1, 10.0, [((1, 10), 1), ((2, 20), 1)])
+        )
+        await server._deliver(
+            client, _delta_frame("q", 2, 11.0, [((1, 10), -1), ((1, 15), 1)])
+        )
+        # Queue is full: the third delta forces a merge of all three.
+        assert await server._deliver(
+            client, _delta_frame("q", 3, 12.0, [((2, 20), -1), ((2, 25), 1)])
+        )
+        frames = []
+        while not client.queue.empty():
+            frames.append(client.queue.get_nowait())
+        assert len(frames) == 1
+        merged = frames[0]
+        assert merged["coalesced"] is True
+        assert merged["lsn"] == 3  # newest LSN wins...
+        assert merged["ts"] == 10.0  # ...oldest timestamp is preserved
+        rows = apply_changes(Counter(), [(tuple(r), w) for r, w in merged["changes"]])
+        assert rows == Counter({(1, 15): 1, (2, 25): 1})
+
+    asyncio.run(scenario())
+
+
+def test_coalesce_preserves_non_delta_frames_in_order():
+    async def scenario():
+        server = ViewServer(
+            DeltaEngine(_program()), backpressure="coalesce", queue_frames=2
+        )
+        client = _ClientState(_FakeWriter(), queue_frames=2, name="laggy")
+        await server._deliver(client, {"type": "pong", "lsn": 1})
+        await server._deliver(client, _delta_frame("q", 2, 5.0, [((1, 1), 1)]))
+        await server._deliver(client, _delta_frame("q", 3, 6.0, [((1, 1), -1)]))
+        frames = []
+        while not client.queue.empty():
+            frames.append(client.queue.get_nowait())
+        # The pong survives; the two deltas cancelled out entirely.
+        assert frames == [{"type": "pong", "lsn": 1}]
+
+    asyncio.run(scenario())

@@ -184,6 +184,33 @@ class TestCLI:
         assert rc == 0
         assert "final result" in capsys.readouterr().out
 
+    def test_serve_oneshot_streams_and_prints_result(self, tmp_path, capsys):
+        """serve --oneshot binds a live server, streams the CSV through
+        the serving ingest path, and prints the same final result as
+        run."""
+        stream = tmp_path / "events.csv"
+        stream.write_text(
+            "op,relation,values...\n"
+            "+,R,2,10\n+,S,10,100\n+,T,100,7\n-,R,2,10\n+,R,5,10\n"
+        )
+        rc = cli_main(
+            [
+                "serve",
+                "--schema",
+                DDL,
+                "--query",
+                PAPER_SQL,
+                "--stream",
+                str(stream),
+                "--oneshot",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving view 'q'" in out
+        assert "streamed 5 events" in out
+        assert "(35,)" in out  # 5 * 7, identical to the run command
+
     def test_bench_command(self, capsys):
         rc = cli_main(
             ["bench", "--workload", "finance", "--query", "psp", "--events", "2000"]
