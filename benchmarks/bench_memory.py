@@ -136,6 +136,59 @@ def check_target(rows: dict[str, dict]) -> bool:
     return ok
 
 
+def native_storage_table(event_count: int, seed: int = 5) -> dict[str, dict]:
+    """Per-entry bytes with the C kernel attached (``mode="native"``).
+
+    The kernel keeps its own packed arena on the C heap, so this section
+    checks the accounting story: ``map_memory_bytes`` must report the
+    kernel-side allocations (via ``storage_bytes()``), and the maps must
+    stay bit-identical to the pure-Python engine's.  Skipped with an
+    explicit line — never silently — when the host has no C toolchain.
+    """
+    from repro.codegen.native import probe_toolchain
+    from repro.compiler import compile_sql
+    from repro.runtime import DeltaEngine
+    from repro.runtime.profiler import map_memory_bytes
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    probe = probe_toolchain()
+    if not probe.available:
+        print("native kernel memory: SKIPPED — no C toolchain "
+              f"({probe.describe()})\n")
+        return {}
+    events = list(OrderBookGenerator(seed=seed).events(event_count))
+    rows: dict[str, dict] = {}
+    print(f"per-entry map memory — native kernel ({probe.describe()})")
+    header = f"{'query':<8}{'entries':>10}{'native B/e':>13}"
+    print(header)
+    print("-" * len(header))
+    for query in TARGET_QUERIES:
+        program = compile_sql(
+            FINANCE_QUERIES[query], finance_catalog(), name=query
+        )
+        native = DeltaEngine(program, mode="native")
+        assert native.native_active, (
+            f"{query}: native lane fell back despite an available toolchain"
+        )
+        native.process_stream(events)
+        oracle = DeltaEngine(program)
+        oracle.process_stream(events)
+        assert native.maps == oracle.maps, (
+            f"{query}: native kernel changed map contents"
+        )
+        total = sum(map_memory_bytes(native.maps).values())
+        entries = max(native.total_entries(), 1)
+        rows[query] = {
+            "entries": entries,
+            "native_bytes": total,
+            "native_bytes_per_entry": total / entries,
+        }
+        print(f"{query:<8}{entries:>10,}{total / entries:>13,.1f}")
+    print()
+    return rows
+
+
 def state_contrast(event_count: int) -> dict[str, int]:
     """The paper's state-size contrast vs the bakeoff baselines."""
     from repro.baselines import make_engine
@@ -188,6 +241,7 @@ def main(argv=None) -> int:
     rows = storage_table(event_count)
     print_storage_table(rows)
     ok = check_target(rows)
+    native_rows = native_storage_table(event_count)
     facts = state_contrast(contrast_count)
 
     if args.json:
@@ -201,10 +255,14 @@ def main(argv=None) -> int:
                 "columnar_bytes_per_entry"
             ]
             metrics[f"storage/{query}/entries"] = row["entries"]
+        for query, row in native_rows.items():
+            metrics[f"storage/{query}/native_bytes_per_entry"] = row[
+                "native_bytes_per_entry"
+            ]
         write_bench_json(
             args.json, "memory", metrics,
             metadata={
-                **bench_metadata(),
+                **bench_metadata(native=bool(native_rows)),
                 "events": event_count,
                 "ratio_target": MEMORY_RATIO_TARGET,
                 "target_queries": list(TARGET_QUERIES),

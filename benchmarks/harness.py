@@ -193,14 +193,18 @@ def calibration_score(rounds: int = 3) -> float:
     return n_ops / best
 
 
-def bench_metadata(optimize: bool = True) -> dict:
-    """IR-optimisation settings stamped into every BENCH_*.json payload,
-    so a perf regression can be bisected to a pass configuration."""
+def bench_metadata(optimize: bool = True, native: bool = False) -> dict:
+    """IR-optimisation and native-kernel settings stamped into every
+    BENCH_*.json payload, so a perf regression can be bisected to a pass
+    configuration or a toolchain change."""
+    from repro.codegen.native import probe_toolchain
     from repro.ir import DEFAULT_PASSES
 
     return {
         "ir_optimize": optimize,
         "ir_passes": list(DEFAULT_PASSES) if optimize else [],
+        "toolchain": probe_toolchain().describe(),
+        "native": bool(native),
     }
 
 

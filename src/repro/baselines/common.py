@@ -37,10 +37,14 @@ def make_engine(
     ``total_entries``, so per-event and batched comparisons run the same
     driver code against every system.  ``engine_kwargs`` pass through to
     the DBToaster :class:`~repro.runtime.engine.DeltaEngine` kinds only
-    (e.g. ``{"optimize": False}`` for the IR-ablation benchmarks).
+    (e.g. ``{"optimize": False}`` for the IR-ablation benchmarks, or
+    ``{"mode": "native"}`` to put the "dbtoaster" kind on the C column
+    kernel lane).
     """
     if kind == "dbtoaster":
-        return _delta_engine(queries, catalog, mode="compiled", **(engine_kwargs or {}))
+        kwargs = dict(engine_kwargs or {})
+        mode = kwargs.pop("mode", "compiled")
+        return _delta_engine(queries, catalog, mode=mode, **kwargs)
     if kind == "dbtoaster_interp":
         return _delta_engine(
             queries, catalog, mode="interpreted", **(engine_kwargs or {})

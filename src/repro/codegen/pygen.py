@@ -61,6 +61,7 @@ from repro.ir.nodes import (
     SafeDiv,
     Sum,
     TriggerIR,
+    expr_names,
     read_slots,
     used_names,
     walk_stmts,
@@ -68,6 +69,12 @@ from repro.ir.nodes import (
 )
 
 _CMP_PY = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Comparison opcodes of the native kernel's fused ``cm_reduce_q`` entry
+#: point (see ``codegen/native.py``); keys are IR ``Compare`` ops.
+_REDUCE_OPS = {">": 0, ">=": 1, "<": 2, "<=": 3, "=": 4, "!=": 5}
+#: Mirror of each comparison when its operands are swapped.
+_FLIP_OPS = {">": "<", ">=": "<=", "<": ">", "<=": ">=", "=": "=", "!=": "!="}
 
 
 class Emitter:
@@ -136,6 +143,8 @@ def generate_module(
     optimize: bool = True,
     second_order: bool = True,
     columnar: bool = False,
+    native_maps: frozenset = frozenset(),
+    native_note: Optional[str] = None,
 ) -> str:
     """Generate the full trigger module source for a compiled program.
 
@@ -152,6 +161,14 @@ def generate_module(
     through their single-probe ``add()`` update instead of the dict
     ``get``/``pop``/set sequence (halving hash/probe work per write).
     The default renders storage-agnostic code that works on any mapping.
+
+    ``native_maps`` (the native lane, see ``codegen/native.py``) names
+    columnar maps whose unfiltered-by-index full scans render as fused
+    column zips over ``scan_columns`` instead of ``items()`` — skipping
+    per-entry key-tuple construction.  ``scan_columns`` is part of the
+    ColumnarMap API (pure, spilled, or kernel-attached), so the
+    rendering is valid whether or not the C kernel loaded;
+    ``native_note`` stamps the toolchain decision into the header.
     """
     from repro.compiler.partition import analyze_partitioning
     from repro.compiler.storage import analyze_storage
@@ -162,10 +179,19 @@ def generate_module(
         if use_indexes
         else {}
     )
+    plan = analyze_storage(program)
     columnar_maps = (
-        frozenset(analyze_storage(program).columnar_maps)
-        if columnar
-        else frozenset()
+        frozenset(plan.columnar_maps) if columnar else frozenset()
+    )
+    native_scan_maps = frozenset(native_maps) & columnar_maps
+    # Maps whose values the ring fixpoints prove always-int (columnar and
+    # scalar alike): the fused C reduction only fires when the scanned map
+    # and every appended-to target are in this set, so collapsing a
+    # per-entry delta stream into one summed delta is exact arithmetic.
+    int_value_maps = frozenset(
+        name
+        for name, storage in plan.maps.items()
+        if storage.value_class == "int"
     )
     emitter = Emitter()
     emitter.line('"""Generated delta-processing triggers (do not edit).')
@@ -190,13 +216,21 @@ def generate_module(
     # columnar vs dict, see repro.compiler.storage); with columnar=False
     # the rendered code is storage-agnostic (mapping protocol only),
     # otherwise columnar applies use the single-probe add() update.
-    for line in analyze_storage(program).describe().splitlines():
+    for line in plan.describe().splitlines():
         emitter.line(line)
-    emitter.line(
-        "rendered for: "
-        + ("columnar storage (add() applies)" if columnar_maps
-           else "storage-agnostic (mapping protocol)")
-    )
+    if native_scan_maps:
+        rendered_for = (
+            "columnar storage (add() applies; fused column scans: "
+            + ", ".join(sorted(native_scan_maps))
+            + ")"
+        )
+    elif columnar_maps:
+        rendered_for = "columnar storage (add() applies)"
+    else:
+        rendered_for = "storage-agnostic (mapping protocol)"
+    emitter.line("rendered for: " + rendered_for)
+    if native_note is not None:
+        emitter.line(f"native kernel: {native_note}")
     emitter.line('"""')
     emitter.blank()
     emitter.line("def _div(n, d):")
@@ -215,6 +249,8 @@ def generate_module(
             emitter,
             indexes,
             columnar_maps,
+            native_scan_maps,
+            int_value_maps,
         )
         emitter.blank()
     return emitter.source()
@@ -262,6 +298,8 @@ def _generate_trigger(
     emitter: Emitter,
     indexes: Optional[dict[str, set[tuple[int, ...]]]] = None,
     columnar_maps: frozenset[str] = frozenset(),
+    native_maps: frozenset[str] = frozenset(),
+    int_value_maps: frozenset[str] = frozenset(),
 ) -> None:
     indexes = indexes or {}
     maps_used = _global_maps_used(per_event.body, batch.body)
@@ -271,7 +309,9 @@ def _generate_trigger(
         for pattern in sorted(indexes.get(name, ())):
             local = index_name(name, pattern)
             defaults.append(f"{local}=INDEXES[{local!r}]")
-    renderer = _PyRenderer(emitter, indexes, columnar_maps)
+    renderer = _PyRenderer(
+        emitter, indexes, columnar_maps, native_maps, int_value_maps
+    )
     signature = ", ".join(params + defaults)
     emitter.line(f"def {trigger.name}({signature}):")
     with emitter.block():
@@ -294,7 +334,9 @@ class _PyRenderer:
 
     ``columnar_maps`` names the maps the binding engine stores in
     :class:`~repro.runtime.storage.ColumnarMap` columns — their applies
-    render as the storage's single-probe ``add()``.
+    render as the storage's single-probe ``add()``.  ``native_maps``
+    additionally renders their full-map scans as fused column zips
+    (``scan_columns``) when the loop never materialises the key tuple.
     """
 
     def __init__(
@@ -302,10 +344,14 @@ class _PyRenderer:
         emitter: Emitter,
         indexes: dict[str, set[tuple[int, ...]]],
         columnar_maps: frozenset[str] = frozenset(),
+        native_maps: frozenset[str] = frozenset(),
+        int_value_maps: frozenset[str] = frozenset(),
     ) -> None:
         self.emitter = emitter
         self.indexes = indexes
         self.columnar_maps = columnar_maps
+        self.native_maps = native_maps
+        self.int_value_maps = int_value_maps
 
     # -- statements --------------------------------------------------------
 
@@ -435,6 +481,17 @@ class _PyRenderer:
             and bool(stmt.filters)
             and stmt.pattern in self.indexes.get(stmt.slot.name, ())
         )
+        if (
+            not use_index
+            and not stmt.slot.local
+            and stmt.slot.name in self.native_maps
+            and key_var not in used_names(stmt.body)
+        ):
+            # Full scan that never materialises the key tuple: fuse it
+            # over the storage's column arrays (one native snapshot call
+            # per column under the C kernel, zero-copy zip when pure).
+            self._render_native_scan(stmt, source)
+            return
         if use_index:
             # Probe the secondary index: only matching entries are touched.
             subkey_parts = [
@@ -468,6 +525,228 @@ class _PyRenderer:
         if isinstance(expr, KeyAt):
             return f"{key_var}[{expr.pos}]"
         return self.expr(expr)
+
+    def _render_native_scan(self, stmt: ForEachMap, source: str) -> None:
+        """Render a native map's full scan as a fused column traversal.
+
+        Restate-shaped loops — per-entry delta is a product of the entry
+        value, bound key parts and integer constants, guarded by
+        loop-invariant comparisons, appended to scalar pending buffers —
+        collapse into one ``reduce_scalar`` kernel call (the whole loop
+        runs in C; ``None`` means the kernel declined — not attached,
+        overflow risk, boxed columns — and the column-zip loop runs
+        instead).  Everything else renders as the column zip alone.
+        """
+        emitter = self.emitter
+        reduced = self._match_scalar_reduce(stmt)
+        if reduced is not None:
+            mulpos, preds, cmul, sinks = reduced
+            result = emitter.fresh("r")
+            mul_code = (
+                "(" + ", ".join(str(pos) for pos in mulpos)
+                + ("," if len(mulpos) == 1 else "") + ")"
+            )
+            pred_parts = [
+                f"({pos}, {opcode}, {self.expr(rhs)})"
+                for pos, opcode, rhs in preds
+            ]
+            pred_code = (
+                "(" + ", ".join(pred_parts)
+                + ("," if len(pred_parts) == 1 else "") + ")"
+            )
+            emitter.line(
+                f"{result} = {source}.reduce_scalar"
+                f"({mul_code}, {pred_code}, {cmul})"
+            )
+            emitter.line(f"if {result} is None:")
+            with emitter.block():
+                self._render_column_zip(stmt, source)
+            emitter.line(f"elif {result} != 0:")
+            with emitter.block():
+                for kind, sink in sinks:
+                    if kind == "append":
+                        emitter.line(f"{sink}.append(((), {result}))")
+                    elif kind == "accum":
+                        emitter.line(f"{sink} += {result}")
+                    else:
+                        self._emit_apply(
+                            target=sink,
+                            key_code="()",
+                            val_code=result,
+                            key_parts=[],
+                        )
+            return
+        self._render_column_zip(stmt, source)
+
+    def _match_scalar_reduce(self, stmt: ForEachMap):
+        """Match the restate-reduction loop shape, or return ``None``.
+
+        Shape: optional loop-invariant comparison guards wrapping either
+        ``acc += Prod(value × bound keys × int consts)`` (a correlated
+        existence/aggregate accumulation) or ``Assign(d, Prod(...))``
+        followed by ``if d != 0`` sinking ``d`` under the empty key —
+        appended to pending buffers (per-event triggers) or applied
+        directly (second-order batch restates).  Exactness gate: the
+        scanned map and every sink target must be proven always-int, so
+        one C int64 sum (with overflow bail-out) is bit-identical to the
+        per-entry Python delta stream.
+        """
+        if stmt.slot.name not in self.int_value_maps:
+            return None
+        if any(isinstance(expr, KeyAt) for _, expr in stmt.filters):
+            return None
+        bound = {name: pos for pos, name in stmt.binds}
+        loop_names = set(bound) | {stmt.value_var, stmt.entry_var}
+        preds: list[tuple[int, int, IRExpr]] = []
+        for pos, expr in stmt.filters:
+            if expr_names(expr) & loop_names:
+                return None
+            preds.append((pos, _REDUCE_OPS["="], expr))
+        body = stmt.body
+        while len(body) == 1 and isinstance(body[0], IfCond):
+            cond = body[0].cond
+            if not isinstance(cond, Compare) or cond.op not in _REDUCE_OPS:
+                return None
+            op, left, right = cond.op, cond.left, cond.right
+            if isinstance(left, Name) and left.name in bound:
+                var, rhs = left, right
+            elif isinstance(right, Name) and right.name in bound:
+                var, rhs = right, left
+                op = _FLIP_OPS[op]
+            else:
+                return None
+            if expr_names(rhs) & loop_names:
+                return None
+            preds.append((bound[var.name], _REDUCE_OPS[op], rhs))
+            body = body[0].body
+        sinks: list[tuple[str, str]] = []
+        if len(body) == 1 and isinstance(body[0], Accum):
+            delta_expr = body[0].value
+            sinks.append(("accum", body[0].name))
+        elif len(body) == 2:
+            assign, guard = body
+            if not isinstance(assign, Assign) or not isinstance(guard, IfCond):
+                return None
+            gc = guard.cond
+            if not (isinstance(gc, Compare) and gc.op == "!="):
+                return None
+            if isinstance(gc.left, Name) and gc.left.name == assign.name:
+                zero = gc.right
+            elif isinstance(gc.right, Name) and gc.right.name == assign.name:
+                zero = gc.left
+            else:
+                return None
+            if not (isinstance(zero, Const) and zero.value == 0):
+                return None
+            for sink in guard.body:
+                if isinstance(sink, AppendTo):
+                    if sink.keys:
+                        return None
+                    value = sink.value
+                    if not (
+                        isinstance(value, Name) and value.name == assign.name
+                    ):
+                        return None
+                    if sink.target.name not in self.int_value_maps:
+                        return None
+                    sinks.append(("append", sink.buffer))
+                elif isinstance(sink, AddTo):
+                    if sink.keys or sink.slot.local or not sink.evict:
+                        return None
+                    value = sink.value
+                    if not (
+                        isinstance(value, Name) and value.name == assign.name
+                    ):
+                        return None
+                    if sink.slot.name not in self.int_value_maps:
+                        return None
+                    sinks.append(("apply", sink.slot.name))
+                else:
+                    return None
+            delta_expr = assign.value
+        else:
+            return None
+        if not sinks:
+            return None
+        factors = (
+            delta_expr.factors
+            if isinstance(delta_expr, Prod)
+            else (delta_expr,)
+        )
+        mulpos: list[int] = []
+        cmul = 1
+        value_seen = False
+        for factor in factors:
+            if isinstance(factor, Name) and factor.name == stmt.value_var:
+                if value_seen:
+                    return None
+                value_seen = True
+            elif isinstance(factor, Name) and factor.name in bound:
+                mulpos.append(bound[factor.name])
+            elif isinstance(factor, Const) and type(factor.value) is int:
+                cmul *= factor.value
+            else:
+                return None
+        if not value_seen:
+            return None
+        return tuple(mulpos), preds, cmul, sinks
+
+    def _render_column_zip(self, stmt: ForEachMap, source: str) -> None:
+        """``for kp_i, ..., val in zip(*m.scan_columns((...,))):``
+
+        Only the key positions the loop actually reads (binds, filters,
+        key-equality tests) are scanned; each bound position's column
+        value lands directly in its bind name, so the per-entry work is
+        one C-level zip step instead of tuple building plus indexing.
+        """
+        emitter = self.emitter
+        positions: set[int] = {pos for pos, _ in stmt.binds}
+        positions.update(pos for pos, _ in stmt.filters)
+        positions.update(
+            expr.pos
+            for _, expr in stmt.filters
+            if isinstance(expr, KeyAt)
+        )
+        ordered = sorted(positions)
+        var_of: dict[int, str] = {}
+        aliases: list[tuple[str, str]] = []
+        for pos, name in stmt.binds:
+            if pos in var_of:
+                aliases.append((name, var_of[pos]))
+            else:
+                var_of[pos] = name
+        for pos in ordered:
+            if pos not in var_of:
+                var_of[pos] = emitter.fresh("kp")
+        cols = emitter.fresh("s")
+        pos_code = (
+            "(" + ", ".join(str(pos) for pos in ordered)
+            + ("," if len(ordered) == 1 else "") + ")"
+        )
+        emitter.line(f"{cols} = {source}.scan_columns({pos_code})")
+        if not ordered:
+            emitter.line(f"for {stmt.value_var} in {cols}[0]:")
+        else:
+            names = ", ".join(
+                [var_of[pos] for pos in ordered] + [stmt.value_var]
+            )
+            seqs = ", ".join(
+                f"{cols}[{i}]" for i in range(len(ordered) + 1)
+            )
+            emitter.line(f"for {names} in zip({seqs}):")
+        with emitter.block():
+            conditions = []
+            for pos, expr in stmt.filters:
+                if isinstance(expr, KeyAt):
+                    code = var_of[expr.pos]
+                else:
+                    code = self.expr(expr)
+                conditions.append(f"{var_of[pos]} == {code}")
+            if conditions:
+                emitter.line(f"if not ({' and '.join(conditions)}): continue")
+            for name, primary in aliases:
+                emitter.line(f"{name} = {primary}")
+            self.render_body(stmt.body)
 
     def _render_add_to(self, stmt: AddTo) -> None:
         key_parts = [self.expr(k) for k in stmt.keys]
@@ -645,11 +924,15 @@ class CompiledExecutor:
         optimize: bool = True,
         second_order: bool = True,
         columnar: bool = False,
+        native_maps: frozenset = frozenset(),
+        native_note: Optional[str] = None,
     ):
         """``columnar=True`` renders applies for the engine's columnar map
         storage (single-probe ``add()``); it must match the storage the
         bound maps actually use — :class:`~repro.runtime.engine.DeltaEngine`
-        passes its own ``columnar`` flag through."""
+        passes its own ``columnar`` flag through. ``native_maps`` names maps
+        whose full-map restatement loops should render as fused column scans
+        (the native executor lane passes its kernel-eligible set)."""
         self.program = program
         self.use_indexes = use_indexes
         self.optimize = optimize
@@ -666,6 +949,8 @@ class CompiledExecutor:
             optimize=optimize,
             second_order=second_order,
             columnar=columnar,
+            native_maps=native_maps,
+            native_note=native_note,
         )
         self._functions: dict[tuple[str, int], object] = {}
         self._batch_functions: dict[tuple[str, int], object] = {}

@@ -58,6 +58,10 @@ from repro.compiler.program import CompiledProgram
 #: value-class -> ColumnarMap value-column kind.
 _VALUE_KINDS = {"int": "q", "float": "d", "object": "o"}
 
+#: Widest key tuple the generated C kernel supports (``cm_add_{n}_*``
+#: entry points are emitted per arity; see ``codegen/native.py``).
+NATIVE_MAX_ARITY = 8
+
 
 @dataclass(frozen=True)
 class MapStorage:
@@ -65,9 +69,18 @@ class MapStorage:
 
     name: str
     kind: str  # "columnar" | "dict"
-    value_class: str  # "int" | "float" | "object" (columnar) | "any" (dict)
+    #: value type proof: "int" / "float" from the ring fixpoints (held by
+    #: dict-stored scalar maps too — the native reduce fusion gates on
+    #: it), "object" (columnar, unproven) or "any" (dict, unproven).
+    value_class: str
     arity: int
     reason: str
+    #: per-key-position type class ("int" | "float" | "any"), in key order.
+    key_classes: tuple[str, ...] = ()
+    #: whether the native C kernel can own this map (int64 keys, numeric
+    #: values, arity within the generated entry-point range).
+    native: bool = False
+    native_reason: str = ""
 
     @property
     def columnar(self) -> bool:
@@ -112,13 +125,21 @@ class StoragePlan:
             sorted(name for name, s in self.maps.items() if s.columnar)
         )
 
+    @property
+    def native_maps(self) -> tuple[str, ...]:
+        """Maps the generated C kernel can own (see ``codegen/native.py``)."""
+        return tuple(
+            sorted(name for name, s in self.maps.items() if s.native)
+        )
+
     def describe(self) -> str:
         """Human-readable summary (compile trace / generated header)."""
         lines = ["== storage plan =="]
         for name in sorted(self.maps):
             storage = self.maps[name]
+            native = " [native-eligible]" if storage.native else ""
             lines.append(
-                f"map {name}: {storage.label} ({storage.reason})"
+                f"map {name}: {storage.label}{native} ({storage.reason})"
             )
         return "\n".join(lines)
 
@@ -299,6 +320,71 @@ def _always_float(
     return _always_float_body(body, float_vars, float_maps)
 
 
+def _key_classes(map_def, program: CompiledProgram) -> tuple[str, ...]:
+    """Per-key-position type classes ("int" | "float" | "any").
+
+    A key variable is class "int" when every base-relation atom binding
+    it does so at a non-FLOAT column and it is never Lift-bound (a lift
+    body is an arbitrary computed scalar, so its Python type is
+    unproven); "float" when it is FLOAT-column-bound only; "any"
+    otherwise.  The "int" class is what licenses the native C kernel:
+    those key columns are provably int64-packable by the same evidence
+    that backs :func:`_float_capable_vars`.
+    """
+    from repro.algebra.expr import Lift
+
+    defn = map_def.defn
+    float_positions = program.float_columns
+    int_bound: set[str] = set()
+    float_bound: set[str] = set()
+    unproven: set[str] = set()
+    for node in walk(defn):
+        if isinstance(node, Lift):
+            unproven.add(node.var)
+            continue
+        if not isinstance(node, Rel):
+            continue
+        floats = float_positions.get(node.name, frozenset())
+        for position, arg in enumerate(node.args):
+            if not isinstance(arg, Var):
+                continue
+            if position in floats:
+                float_bound.add(arg.name)
+            else:
+                int_bound.add(arg.name)
+
+    def classify(var: str) -> str:
+        if var in unproven:
+            return "any"
+        if var in int_bound:
+            return "int" if var not in float_bound else "any"
+        if var in float_bound:
+            return "float"
+        return "any"
+
+    return tuple(classify(var) for var in map_def.keys)
+
+
+def _native_eligibility(
+    kind: str, value_class: str, arity: int, key_classes: tuple[str, ...]
+) -> tuple[bool, str]:
+    """Whether the generated C kernel can own this map, and why (not)."""
+    if kind != "columnar":
+        return False, "dict storage"
+    if not 1 <= arity <= NATIVE_MAX_ARITY:
+        return False, f"arity {arity} outside generated range 1..{NATIVE_MAX_ARITY}"
+    if value_class not in ("int", "float"):
+        return False, "boxed value column"
+    bad = [
+        f"key[{position}]: {cls}"
+        for position, cls in enumerate(key_classes)
+        if cls != "int"
+    ]
+    if bad:
+        return False, "non-int64 key columns (" + ", ".join(bad) + ")"
+    return True, f"int64 keys, {value_class} values"
+
+
 def analyze_storage(program: CompiledProgram) -> StoragePlan:
     """Compute (and memoise) the storage plan for a compiled program.
 
@@ -355,22 +441,38 @@ def _analyze_storage(program: CompiledProgram) -> StoragePlan:
     for name, map_def in program.maps.items():
         arity = map_def.arity
         if arity == 0:
+            if name in int_maps:
+                scalar_class = "int"
+            elif name in float_maps:
+                scalar_class = "float"
+            else:
+                scalar_class = "any"
             decisions[name] = MapStorage(
-                name, "dict", "any", 0, "scalar map: nothing to pack"
+                name, "dict", scalar_class, 0, "scalar map: nothing to pack"
             )
-        elif name in int_maps:
-            decisions[name] = MapStorage(
-                name, "columnar", "int", arity,
-                "exact-integer ring proof",
+            continue
+        if name in int_maps:
+            kind, value_class, reason = (
+                "columnar", "int", "exact-integer ring proof"
             )
         elif name in float_maps:
-            decisions[name] = MapStorage(
-                name, "columnar", "float", arity,
+            kind, value_class, reason = (
+                "columnar", "float",
                 "every defining monomial carries a float factor",
             )
         else:
-            decisions[name] = MapStorage(
-                name, "columnar", "object", arity,
+            kind, value_class, reason = (
+                "columnar", "object",
                 "packed keys, boxed values (value type unproven)",
             )
+        key_classes = _key_classes(map_def, program)
+        native, native_reason = _native_eligibility(
+            kind, value_class, arity, key_classes
+        )
+        decisions[name] = MapStorage(
+            name, kind, value_class, arity, reason,
+            key_classes=key_classes,
+            native=native,
+            native_reason=native_reason,
+        )
     return StoragePlan(maps=decisions)

@@ -214,6 +214,17 @@ class DeltaEngine:
                 second_order=second_order,
                 columnar=columnar,
             )
+        elif mode == "native":
+            from repro.codegen.native import NativeExecutor
+
+            self._executor = NativeExecutor(
+                program,
+                self.maps,
+                use_indexes=use_indexes,
+                optimize=optimize,
+                second_order=second_order,
+                columnar=columnar,
+            )
         elif mode == "interpreted":
             self._executor = InterpretedExecutor(
                 program, optimize=optimize, second_order=second_order
@@ -260,7 +271,7 @@ class DeltaEngine:
                 for name, contents in self.maps.items()
             }
         )
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             clone._executor.bind(clone.maps)
         clone.events_processed = self.events_processed
         clone.events_skipped = self.events_skipped
@@ -482,7 +493,7 @@ class DeltaEngine:
             contents = maps.get(name)
             if contents:
                 target.update(contents)
-        if self.mode == "compiled":
+        if self.mode != "interpreted":
             self._executor.bind(self.maps)
         self.events_processed = events_processed
         self.events_skipped = events_skipped
@@ -532,6 +543,18 @@ class DeltaEngine:
         raise EventError(f"unknown query {query_name!r}")
 
     # -- introspection (the read-only client interface) --------------------
+
+    @property
+    def native_active(self) -> bool:
+        """True when the C column kernel is loaded and attached
+        (``mode="native"`` with a working toolchain)."""
+        return bool(getattr(self._executor, "native_active", False))
+
+    @property
+    def native_note(self) -> Optional[str]:
+        """The toolchain probe result the native lane ran under (or the
+        fallback reason); ``None`` outside ``mode="native"``."""
+        return getattr(self._executor, "native_note", None)
 
     def map_view(self, name: str) -> Mapping:
         """Read-only view of one internal map, for ad-hoc client queries."""
@@ -1151,6 +1174,16 @@ class ShardedEngine:
         raise EventError(f"unknown query {query_name!r}")
 
     # -- introspection ------------------------------------------------------
+
+    @property
+    def native_active(self) -> bool:
+        """True when the serial lane runs the C column kernel; forked
+        worker lanes probe/build the same cached kernel post-fork."""
+        return self._serial.native_active
+
+    @property
+    def native_note(self) -> Optional[str]:
+        return self._serial.native_note
 
     def map_view(self, name: str) -> Mapping:
         """Read-only merged view of one map, for ad-hoc client queries."""

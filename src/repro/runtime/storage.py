@@ -110,6 +110,7 @@ class ColumnarMap(MutableMapping):
         "_mask",
         "_fill",
         "_dict",
+        "_native",
     )
 
     def __init__(self, arity: int, value_kind: str = "o") -> None:
@@ -120,6 +121,7 @@ class ColumnarMap(MutableMapping):
         self.arity = arity
         self.value_kind = value_kind
         self._dict: Optional[dict] = None
+        self._native = None  # C-kernel wrapper (see codegen/native.py)
         self._reset()
 
     def _reset(self) -> None:
@@ -457,6 +459,45 @@ class ColumnarMap(MutableMapping):
             return iter(self._values)
         return compress(self._values, self._live)
 
+    def scan_columns(self, positions) -> tuple:
+        """Fused column scan: one sequence per requested key position,
+        plus the value column last — live entries only, insertion order.
+
+        This is the contract the native code generator renders full-map
+        loops against (``for k, v in zip(*m.scan_columns((0,)))`` instead
+        of tuple-building ``items()``), and it holds across all three
+        storage states: packed columns (zero-copy when tombstone-free),
+        spilled dict, and the native C kernel (which overrides it with a
+        per-column ``cm_scan_column`` snapshot).
+        """
+        positions = tuple(positions)
+        contents = self._dict
+        if contents is not None:
+            items = list(contents.items())
+            cols = [
+                [key[pos] for key, _ in items] for pos in positions
+            ]
+            cols.append([value for _, value in items])
+            return tuple(cols)
+        if self._size == 0:
+            return tuple(() for _ in range(len(positions) + 1))
+        cols = [self._key_cols[pos] for pos in positions]
+        cols.append(self._values)
+        if self._used == self._size:
+            return tuple(cols)
+        live = self._live
+        return tuple(list(compress(col, live)) for col in cols)
+
+    def reduce_scalar(self, mulpos, predicates, cmul=1):
+        """Fused restate reduction; ``None`` means "not provided here".
+
+        Only the native C kernel computes this (one call instead of a
+        Python loop — see ``_KernelMapBase.reduce_scalar``); the pure
+        and spilled states always decline, and the generated triggers
+        then run their equivalent column-zip loop.
+        """
+        return None
+
     def items(self):
         """A re-iterable items view (fresh C-level iterator per pass)."""
         if self._dict is not None:
@@ -603,3 +644,118 @@ def _rebuild_columnar(
     for key, value in items:
         rebuilt[key] = value
     return rebuilt
+
+
+class _NativeColumnarMap(ColumnarMap):
+    """A :class:`ColumnarMap` whose entries live in the generated C
+    kernel (``codegen/native.py``).
+
+    Attachment works by ``__class__`` reassignment (both classes are
+    slot-compatible, so flipping is free): the kernel wrapper sits in
+    the ``_native`` slot and every hot method dispatches straight to it
+    with zero overhead left on the pure class.  Any operation the
+    packed C layout cannot represent — an int64 overflow, an int stored
+    into a float column, a non-conforming key — *ejects* the map: the C
+    entries are snapshotted in insertion order, the class flips back,
+    the pure columnar layout is rebuilt (re-promoting columns as
+    needed), and the operation reruns there.  Ejection is one-way and
+    loses nothing; the map re-attaches at the next executor
+    ``bind()`` only if its contents conform again.
+
+    Pickling is inherited: ``__reduce__`` ships logical items, so maps
+    crossing shard pipes arrive as pure ColumnarMaps and re-attach in
+    the receiving worker's own kernel.
+    """
+
+    __slots__ = ()
+
+    def _eject_native(self) -> None:
+        wrapper = self._native
+        items = wrapper.items_list()
+        wrapper.release()
+        self._native = None
+        self.__class__ = ColumnarMap
+        self._reset()
+        for key, value in items:
+            self[key] = value
+
+    # -- hot-path dispatch --------------------------------------------------
+
+    def add(self, key, value):
+        return self._native.add(key, value)
+
+    def get(self, key, default=None):
+        return self._native.get(key, default)
+
+    def __getitem__(self, key):
+        value = self._native.get(key, _SENTINEL)
+        if value is _SENTINEL:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key) -> bool:
+        return self._native.get(key, _SENTINEL) is not _SENTINEL
+
+    def __setitem__(self, key, value) -> None:
+        self._native.set(key, value)
+
+    def __delitem__(self, key) -> None:
+        self._native.delete(key)
+
+    def __len__(self) -> int:
+        return self._native.length()
+
+    def clear(self) -> None:
+        self._native.clear()
+
+    # -- rare mutators: cheaper correct than fast ---------------------------
+
+    def pop(self, key, default=ColumnarMap._MISSING):
+        self._eject_native()
+        if default is ColumnarMap._MISSING:
+            return self.pop(key)
+        return self.pop(key, default)
+
+    def popitem(self):
+        self._eject_native()
+        return self.popitem()
+
+    # -- iteration (snapshot scans out of the kernel) -----------------------
+
+    def scan_columns(self, positions) -> tuple:
+        return self._native.scan_columns(tuple(positions))
+
+    def reduce_scalar(self, mulpos, predicates, cmul=1):
+        return self._native.reduce_scalar(mulpos, predicates, cmul)
+
+    def _iter_items(self) -> Iterator[tuple]:
+        cols = self._native.scan_columns(range(self.arity))
+        return zip(zip(*cols[:-1]), cols[-1])
+
+    def _iter_values(self) -> Iterator:
+        return iter(self._native.scan_columns(())[0])
+
+    def __iter__(self):
+        cols = self._native.scan_columns(range(self.arity))
+        return iter(zip(*cols[:-1]))
+
+    # -- copying / accounting ----------------------------------------------
+
+    def copy(self) -> ColumnarMap:
+        clone = ColumnarMap(self.arity, self.value_kind)
+        wrapper = self._native.clone(clone)
+        if wrapper is None:  # C-side allocation failed: copy pure
+            for key, value in self._iter_items():
+                clone[key] = value
+            return clone
+        clone._native = wrapper
+        clone.__class__ = _NativeColumnarMap
+        return clone
+
+    def storage_bytes(self) -> int:
+        """Kernel-side bytes (slot columns + bucket table, as resized in
+        C) — what keeps the memory-bench table honest under this lane."""
+        return self._native.bytes_used()
+
+
+_SENTINEL = object()

@@ -72,17 +72,47 @@ from repro.sql.catalog import Catalog
 from repro.tools.trace import compilation_table, ir_summary, recursion_summary
 
 
+def _resolve_mode(args) -> str:
+    """Map ``--mode`` plus ``--native`` onto the engine's executor mode."""
+    mode = getattr(args, "mode", "compiled")
+    if getattr(args, "native", False):
+        if mode == "interpreted":
+            raise SystemExit(
+                "--native compiles triggers; it cannot combine with "
+                "--mode interpreted"
+            )
+        if getattr(args, "no_columnar", False):
+            raise SystemExit(
+                "--native probes columnar storage; it cannot combine "
+                "with --no-columnar"
+            )
+        return "native"
+    return mode
+
+
+def _native_banner(engine) -> None:
+    """One status line saying whether the C kernel actually loaded."""
+    note = getattr(engine, "native_note", None)
+    if note is None:
+        return
+    state = "active" if getattr(engine, "native_active", False) else "fallback"
+    print(f"-- native kernel {state}: {note} --")
+
+
 def _make_engine(program, args):
     """A DeltaEngine, or a ShardedEngine when ``--shards N`` (N > 1) asks
     for hash-partitioned parallel lanes (worker processes where ``fork``
     is available; non-partitionable programs fall back to serial).  With
     ``--durable DIR`` the engine is wrapped in a
     :class:`~repro.runtime.durability.DurableEngine` (recovering whatever
-    state DIR already holds)."""
+    state DIR already holds).  ``--native`` selects the C column-kernel
+    executor lane (gracefully falling back to pure Python when no
+    toolchain exists)."""
     shards = getattr(args, "shards", 1) or 1
     optimize = not getattr(args, "no_opt", False)
     columnar = not getattr(args, "no_columnar", False)
     durable = getattr(args, "durable", None)
+    mode = _resolve_mode(args)
     if durable:
         from repro.runtime.durability import DurableEngine
 
@@ -90,15 +120,15 @@ def _make_engine(program, args):
             program, durable, shards=shards, parallel=shards > 1,
             fsync=getattr(args, "fsync", "batch"),
             snapshot_every=getattr(args, "snapshot_every", None),
-            mode=args.mode, optimize=optimize, columnar=columnar,
+            mode=mode, optimize=optimize, columnar=columnar,
         )
     if shards > 1:
         return ShardedEngine(
-            program, shards=shards, mode=args.mode, parallel=True,
+            program, shards=shards, mode=mode, parallel=True,
             optimize=optimize, columnar=columnar,
         )
     return DeltaEngine(
-        program, mode=args.mode, optimize=optimize, columnar=columnar
+        program, mode=mode, optimize=optimize, columnar=columnar
     )
 
 
@@ -122,6 +152,10 @@ def cmd_compile(args) -> int:
     print(f"durability fingerprint: {program_fingerprint(program)}\n")
     print(analyze_partitioning(program).describe())
     print(analyze_storage(program).describe())
+    from repro.codegen.native import describe_native
+
+    print(describe_native(program))
+    print()
     print(ir_summary(program, optimize=optimize))
     print()
     print("== Figure 2 trace ==\n")
@@ -145,6 +179,7 @@ def cmd_run(args) -> int:
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
     engine = _make_engine(program, args)
+    _native_banner(engine)
     if isinstance(engine, DurableEngine) and engine.lsn:
         print(f"-- resumed durable state at LSN {engine.lsn} "
               f"({engine.events_processed} events) --")
@@ -188,6 +223,7 @@ def cmd_serve(args) -> int:
     catalog = _load_catalog(args)
     program = compile_sql(args.query, catalog, name="q")
     engine = _make_engine(program, args)
+    _native_banner(engine)
     if isinstance(engine, DurableEngine) and engine.lsn:
         print(f"-- resumed durable state at LSN {engine.lsn} "
               f"({engine.events_processed} events) --")
@@ -262,6 +298,7 @@ def cmd_bench(args) -> int:
         sql = FINANCE_QUERIES[args.query or "bsp"]
         program = compile_sql(sql, catalog, name="q")
         engine = _make_engine(program, args)
+        _native_banner(engine)
         start = time.perf_counter()
         count = engine.process_stream(
             OrderBookGenerator(seed=1).events(args.events), **_batch_kwargs(args)
@@ -281,6 +318,7 @@ def cmd_bench(args) -> int:
         generator = TpchGenerator(sf=args.events / 7_500_000)
         program = compile_sql(SSB_Q41_COMBINED, ssb_catalog(), name="q")
         engine = _make_engine(program, args)
+        _native_banner(engine)
         load_static_tables(engine, generator)
         start = time.perf_counter()
         count = engine.process_stream(
@@ -294,7 +332,8 @@ def cmd_bench(args) -> int:
     shards = getattr(args, "shards", 1) or 1
     sharding = f", shards={shards}" if shards > 1 else ""
     print(f"{args.workload}: {count} events in {elapsed:.2f}s "
-          f"({count / elapsed:,.0f} events/s, mode={args.mode}{sharding})")
+          f"({count / elapsed:,.0f} events/s, mode={_resolve_mode(args)}"
+          f"{sharding})")
     return 0
 
 
@@ -337,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "(1 = single engine)")
     p_run.add_argument("--no-opt", action="store_true",
                        help="disable the IR optimisation pipeline")
+    p_run.add_argument("--native", dest="native", action="store_true",
+                       help="run triggers on the compiled C column kernel "
+                            "(falls back to pure Python without a toolchain)")
+    p_run.add_argument("--no-native", dest="native", action="store_false",
+                       help="stay on the pure-Python lanes (default)")
+    p_run.set_defaults(native=False)
     p_run.add_argument("--no-columnar", action="store_true",
                        help="keep every maintained map in plain dict "
                        "storage (the storage ablation)")
@@ -379,6 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "(1 = single engine)")
     p_serve.add_argument("--no-opt", action="store_true",
                          help="disable the IR optimisation pipeline")
+    p_serve.add_argument("--native", dest="native", action="store_true",
+                         help="run triggers on the compiled C column kernel")
+    p_serve.add_argument("--no-native", dest="native", action="store_false",
+                         help="stay on the pure-Python lanes (default)")
+    p_serve.set_defaults(native=False)
     p_serve.add_argument("--no-columnar", action="store_true",
                          help="keep every maintained map in plain dict "
                          "storage")
@@ -419,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "(1 = single engine)")
     p_bench.add_argument("--no-opt", action="store_true",
                          help="disable the IR optimisation pipeline")
+    p_bench.add_argument("--native", dest="native", action="store_true",
+                         help="run triggers on the compiled C column kernel")
+    p_bench.add_argument("--no-native", dest="native", action="store_false",
+                         help="stay on the pure-Python lanes (default)")
+    p_bench.set_defaults(native=False)
     p_bench.add_argument("--no-columnar", action="store_true",
                          help="keep every maintained map in plain dict "
                          "storage (the storage ablation)")

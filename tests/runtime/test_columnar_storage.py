@@ -11,7 +11,9 @@ Three layers:
   dict; exact-int / always-float / unproven value classes);
 * engines running with ``columnar=True`` (the default) must be
   *bit-identical* to ``columnar=False`` — the hypothesis property pins
-  compiled/interpreted × batch sizes × shards 1–4 on random streams, and
+  compiled/interpreted/native × batch sizes × shards 1–4 on random
+  streams (the native lane degrades to pure columnar on toolchain-less
+  hosts, so the property is meaningful everywhere), and
   a deterministic family pins the finance workloads the benchmarks
   measure, comparing ``repr`` of every entry so ``5`` vs ``5.0`` or
   ``-0.0`` drift would fail.
@@ -408,7 +410,7 @@ def test_generated_header_stamps_storage_plan():
 
 
 @pytest.mark.parametrize("query_name", sorted(QUERIES))
-@pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+@pytest.mark.parametrize("mode", ["compiled", "interpreted", "native"])
 @settings(max_examples=20, deadline=None)
 @given(
     stream=st.lists(events(), max_size=40),
@@ -439,7 +441,7 @@ def test_columnar_equals_dict_storage(query_name, mode, stream, shards, batch_si
 
 
 @pytest.mark.parametrize("query_name", ["vwap", "axf", "bsp", "psp", "mst"])
-@pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+@pytest.mark.parametrize("mode", ["compiled", "interpreted", "native"])
 def test_finance_workloads_columnar_identical(query_name, mode):
     """Deterministic family over the benchmark streams (batched runs)."""
     from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
@@ -494,3 +496,27 @@ def test_sharded_parallel_workers_ship_columnar_maps():
         assert _exact_items(sharded.merged_maps()) == _exact_items(
             reference.maps
         )
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_parallel_workers_native_mode(shards):
+    """Forked workers each build their own kernel attach; merged maps must
+    stay repr-identical to the serial dict reference (and the maps crossing
+    the result pipes arrive as pure ColumnarMaps, re-attached per worker)."""
+    program = _program("join")
+    reference = DeltaEngine(program, columnar=False)
+    with ShardedEngine(
+        program, shards=shards, mode="native", parallel=True
+    ) as sharded:
+        if not sharded.parallel:
+            pytest.skip("fork unavailable on this platform")
+        rng = random.Random(13)
+        for i in range(120):
+            relation = ("R", "S")[i % 2]
+            row = (rng.randrange(9), rng.randrange(9))
+            reference.insert(relation, *row)
+            sharded.insert(relation, *row)
+        assert _exact_items(sharded.merged_maps()) == _exact_items(
+            reference.maps
+        )
+        assert sharded.results() == reference.results()
