@@ -98,3 +98,26 @@ class WalCorruptionError(DurabilityError):
 class RecoveryError(DurabilityError):
     """A durable directory cannot be recovered into this engine
     (fingerprint mismatch, unreadable metadata, snapshot/log conflict)."""
+
+
+class ResumeGapError(DurabilityError):
+    """A requested WAL replay position predates the log's oldest
+    replayable frame (checkpoint truncation, or an ``ensure_lsn``
+    forward gap at the start of a fresh log).
+
+    Raised instead of silently returning an empty or incomplete suffix:
+    a reader asking for ``lsn > requested_lsn`` cannot be served from
+    this log alone and must fall back to a snapshot (a resuming
+    subscriber re-snapshots; recovery needs a valid snapshot covering
+    the missing prefix).
+    """
+
+    def __init__(self, requested_lsn: int, oldest_lsn: int) -> None:
+        super().__init__(
+            f"cannot replay from LSN {requested_lsn}: the log's oldest "
+            f"replayable frame is LSN {oldest_lsn} (earlier frames were "
+            "truncated at a checkpoint or never logged); start from a "
+            "snapshot at or below the requested LSN instead"
+        )
+        self.requested_lsn = requested_lsn
+        self.oldest_lsn = oldest_lsn

@@ -36,7 +36,7 @@ from repro.runtime.events import (
     partition_rows,
     update,
 )
-from repro.runtime.engine import DeltaEngine, ShardedEngine
+from repro.runtime.engine import DeltaEngine, ShardSupervisor, ShardedEngine
 from repro.runtime.durability import (
     CrashPoint,
     DurableEngine,
@@ -46,6 +46,7 @@ from repro.runtime.durability import (
     recover_engine,
 )
 from repro.runtime.serving import (
+    ReconnectingSubscriber,
     ServerThread,
     SubscriberClient,
     ViewDeltaTap,
@@ -59,7 +60,9 @@ __all__ = [
     "CrashPoint",
     "DurableEngine",
     "EventBatch",
+    "ReconnectingSubscriber",
     "ServerThread",
+    "ShardSupervisor",
     "SnapshotStore",
     "StreamEvent",
     "SubscriberClient",

@@ -68,6 +68,7 @@ from repro.errors import (
     DurabilityError,
     EventError,
     RecoveryError,
+    ResumeGapError,
     WalCorruptionError,
 )
 from repro.runtime.engine import DEFAULT_BATCH_SIZE
@@ -357,6 +358,29 @@ def _segment_first_lsn(path: Path) -> Optional[int]:
     return first_lsn
 
 
+def _oldest_replayable_lsn(directory: Path) -> Optional[int]:
+    """The LSN of the oldest frame still on disk, or None for no frames.
+
+    The first *valid frame* of the first readable segment, not the
+    segment header's first LSN: an ``ensure_lsn`` forward gap can leave
+    a segment whose header claims an LSN no frame carries.  Falls back
+    to the header LSN for a frameless (freshly rotated) segment so the
+    answer still bounds what :meth:`WriteAheadLog.replay` could serve.
+    """
+    fallback: Optional[int] = None
+    for path in _segment_files(directory):
+        first_lsn = _segment_first_lsn(path)
+        if first_lsn is None:
+            continue
+        for _, lsn, _, _ in _walk_frames(
+            path.read_bytes()[_SEGMENT_HEADER.size:]
+        ):
+            return lsn
+        if fallback is None:
+            fallback = first_lsn
+    return fallback
+
+
 class WriteAheadLog:
     """An append-only, segmented log of column-packed event batches.
 
@@ -468,6 +492,22 @@ class WriteAheadLog:
         """
         if watermark >= self._next_lsn:
             self._next_lsn = watermark + 1
+
+    def oldest_replayable_lsn(self) -> Optional[int]:
+        """The oldest LSN :meth:`replay` can still produce — a frameless
+        (fresh or fully rotated) log answers its next LSN, and ``None``
+        means a directory with no segments at all.
+
+        This is the watermark :meth:`truncate_before` has advanced to:
+        ``replay(after_lsn=A)`` succeeds iff ``A + 1 >= `` this value (a
+        smaller ``A`` asks for truncated frames and raises
+        :class:`~repro.errors.ResumeGapError`).  Buffered appends are
+        written out first so the answer covers every assigned LSN.
+        """
+        if self._fd is None:
+            raise DurabilityError("write-ahead log is closed")
+        self._flush(fsync=False)
+        return _oldest_replayable_lsn(self.directory)
 
     def append(
         self, relation: str, sign: int, columns: Sequence[Sequence], rows: int
@@ -625,6 +665,14 @@ class WriteAheadLog:
         iteration (the opener truncates it later); a bad frame in any
         earlier segment — or a non-increasing LSN — is real corruption
         and raises :class:`~repro.errors.WalCorruptionError`.
+
+        The suffix is guaranteed *complete*: if the log's oldest
+        surviving frame sits beyond ``after_lsn + 1`` (checkpoint
+        truncation removed the prefix, or an ``ensure_lsn`` forward gap
+        means it was never logged), the request raises
+        :class:`~repro.errors.ResumeGapError` instead of silently
+        yielding a stream with missing deltas — the caller must restart
+        from a snapshot at or below ``after_lsn``.
         """
         directory = Path(directory)
         segments = _segment_files(directory)
@@ -636,13 +684,14 @@ class WriteAheadLog:
             if first_lsn is not None and first_lsn <= after_lsn + 1:
                 keep_from = index
         previous_lsn = after_lsn
+        oldest_seen: Optional[int] = None
         for index in range(keep_from, len(segments)):
             path = segments[index]
             is_last = index == len(segments) - 1
             first_lsn = starts[index]
             if first_lsn is None:
                 if is_last:
-                    return  # torn header: nothing recoverable in the tail
+                    break  # torn header: nothing recoverable in the tail
                 raise WalCorruptionError(
                     f"{path.name}: unreadable segment header in the middle "
                     "of the log"
@@ -650,6 +699,10 @@ class WriteAheadLog:
             data = path.read_bytes()
             valid_end = _SEGMENT_HEADER.size
             for _, lsn, payload, end in _walk_frames(data[_SEGMENT_HEADER.size:]):
+                if oldest_seen is None:
+                    oldest_seen = lsn
+                    if lsn > after_lsn + 1:
+                        raise ResumeGapError(after_lsn, lsn)
                 if lsn <= previous_lsn and lsn > after_lsn:
                     raise WalCorruptionError(
                         f"{path.name}: LSN {lsn} after {previous_lsn} — "
@@ -665,6 +718,14 @@ class WriteAheadLog:
                     f"{path.name}: corrupt frame in the middle of the log "
                     f"(byte {valid_end})"
                 )
+        if oldest_seen is None:
+            # A frameless log (fresh tail after full truncation, or empty
+            # directory) can still witness a gap through its header LSN.
+            for first_lsn in starts[keep_from:]:
+                if first_lsn is not None:
+                    if first_lsn > after_lsn + 1:
+                        raise ResumeGapError(after_lsn, first_lsn)
+                    break
 
 
 # ---------------------------------------------------------------------------
@@ -784,14 +845,26 @@ class SnapshotStore:
             return None
         return state
 
-    def load_latest(self) -> Optional[dict]:
+    def load_latest(self, max_lsn: Optional[int] = None) -> Optional[dict]:
         """The newest snapshot that validates, or None.
 
         Invalid files (torn writes that somehow became visible, bad CRCs,
         foreign formats) are skipped, falling back to the next older
         snapshot — the load-side half of snapshot atomicity.
+
+        ``max_lsn`` bounds the search to snapshots at or below that LSN —
+        the resume-from-LSN path needs a *basis* no newer than the
+        subscriber's position, so WAL replay from it passes through the
+        requested LSN instead of starting beyond it.
         """
         for path in reversed(self.paths()):
+            if max_lsn is not None:
+                try:
+                    lsn = int(path.stem.split("-", 1)[1])
+                except (IndexError, ValueError):
+                    continue
+                if lsn > max_lsn:
+                    continue
             state = self._load(path)
             if state is not None:
                 return state
@@ -905,11 +978,22 @@ def recover_engine(
         )
         watermark = snapshot["lsn"]
     last = watermark
-    for lsn, relation, sign, columns in WriteAheadLog.replay(
-        directory, after_lsn=watermark
-    ):
-        engine.process_batch_columns(relation, sign, columns)
-        last = lsn
+    try:
+        for lsn, relation, sign, columns in WriteAheadLog.replay(
+            directory, after_lsn=watermark
+        ):
+            engine.process_batch_columns(relation, sign, columns)
+            last = lsn
+    except ResumeGapError as exc:
+        # Only reachable when every snapshot is invalid but the log was
+        # already truncated past one: the lost prefix is unrecoverable,
+        # and replaying the surviving suffix alone would silently build
+        # the wrong state.
+        raise RecoveryError(
+            f"{directory}: no valid snapshot covers the truncated WAL "
+            f"prefix (replay would start at LSN {exc.oldest_lsn}, needed "
+            f"{exc.requested_lsn + 1}); the directory is unrecoverable"
+        ) from exc
     return engine, last
 
 
@@ -983,6 +1067,13 @@ class DurableEngine:
         # deltas carry the same sequence numbers recovery replays.
         self._engine.lsn_source = lambda: self._wal.last_lsn
         self._lsn = self._wal.last_lsn if self._wal.last_lsn > self._lsn else self._lsn
+        # A supervised sharded engine rebuilds a dead worker's lane from
+        # this directory (snapshot + WAL-suffix replay) instead of from
+        # coordinator-side checkpoints — the WAL already journals every
+        # batch, so the supervisor's in-memory journal would be redundant.
+        supervisor = getattr(self._engine, "supervisor", None)
+        if supervisor is not None:
+            supervisor.install_rebuilder(self._rebuild_from_disk)
         self._since_snapshot = 0
         self._closed = False
         # (relation, sign) pairs _precheck has already admitted.  Strict
@@ -1103,6 +1194,54 @@ class DurableEngine:
         ):
             self._engine.sync()
         self._wal.sync()
+
+    def oldest_replayable_lsn(self) -> Optional[int]:
+        """The oldest LSN the WAL can still replay (see
+        :meth:`WriteAheadLog.oldest_replayable_lsn`); a subscriber cannot
+        resume from below it without a snapshot basis."""
+        return self._wal.oldest_replayable_lsn()
+
+    def _rebuild_from_disk(self) -> int:
+        """Restore the wrapped engine from the durable directory.
+
+        The shard supervisor calls this after respawning a dead worker:
+        every lane (the fresh one and the survivors) is reset and the
+        whole engine is rebuilt from the latest snapshot plus the WAL
+        suffix — the same path crash recovery takes, so the supervisor
+        inherits its parity guarantees.  The in-flight batch is already
+        in the WAL (appended before apply), so the replay re-applies it
+        and the caller must *not* re-send it.  Flush-path listeners are
+        suppressed during the rebuild: subscribers already saw these
+        deltas, re-rendering them would duplicate the stream.
+
+        Returns the number of WAL frames replayed (the suffix length the
+        recovery time is linear in).
+        """
+        self._wal.sync()
+        engine = self._engine
+        snapshot = self._snapshots.load_latest()
+        listeners, engine._batch_listeners = engine._batch_listeners, []
+        try:
+            watermark = 0
+            if snapshot is not None:
+                engine.restore_state(
+                    snapshot["maps"],
+                    events_processed=snapshot.get("events_processed", 0),
+                    events_skipped=snapshot.get("events_skipped", 0),
+                    stream_started=snapshot.get("stream_started"),
+                )
+                watermark = snapshot["lsn"]
+            else:
+                engine.restore_state({})
+            replayed = 0
+            for lsn, relation, sign, columns in WriteAheadLog.replay(
+                self.directory, after_lsn=watermark
+            ):
+                engine.process_batch_columns(relation, sign, columns)
+                replayed += 1
+            return replayed
+        finally:
+            engine._batch_listeners = listeners
 
     def snapshot(self) -> Path:
         """Checkpoint the whole engine state at the current LSN.

@@ -41,8 +41,10 @@ IPC.
 from __future__ import annotations
 
 import signal
+import time
+from collections import deque
 from types import MappingProxyType
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.errors import EventError, UnknownStreamError
 from repro.compiler.partition import PartitionSpec, analyze_partitioning
@@ -738,11 +740,16 @@ class _ProcessLane:
             how = f"killed by {name}"
         else:
             how = f"exit code {exitcode}"
-        return EventError(
+        error = EventError(
             f"shard worker {self.index} (pid {self._pid()}) died "
             f"mid-operation ({how}); its lane state is lost — rebuild the "
             "engine, or recover from a durable directory"
         )
+        # Death-vs-failure marker: a supervisor restarts on a dead worker
+        # (the process is gone) but never on a trigger failure (the
+        # worker is alive and answering — restarting would mask the bug).
+        error.worker_died = True
+        return error
 
     def _pid(self):
         return self._proc.pid if self._proc is not None else "?"
@@ -816,6 +823,276 @@ class _LocalLane:
         pass
 
 
+# ---------------------------------------------------------------------------
+# Shard worker supervision
+# ---------------------------------------------------------------------------
+
+
+class _BatchReplayed(Exception):
+    """Internal control flow: a supervised durable rebuild replayed the
+    in-flight batch from the WAL (it was logged before it was routed), so
+    the router must not re-send the remaining lane slices."""
+
+
+class ShardSupervisor:
+    """Respawns dead shard workers and rebuilds their lane state.
+
+    Without supervision a forked worker that dies (OOM kill, crash,
+    SIGKILL) permanently poisons its :class:`ShardedEngine`: every later
+    operation raises the dead-worker :class:`~repro.errors.EventError`.
+    A supervisor (``ShardedEngine(..., parallel=True, supervise=True)``)
+    intercepts exactly that error, respawns the worker process and
+    rebuilds its state, then resumes the interrupted operation — the
+    stream sees one identical delta sequence, just delivered later.
+
+    Two rebuild strategies, picked by how the engine is deployed:
+
+    * **journal** (plain sharded engine) — the supervisor keeps a
+      coordinator-side checkpoint per lane (the lane's maps, captured
+      through the worker pipe every ``checkpoint_every`` sends — the
+      pipe's pickling is the deep copy) plus a journal of every send
+      since.  Rebuild = respawn, restore the checkpoint, replay the
+      journal; the in-flight send is journaled before it goes out, so
+      replay covers it.
+    * **durable** (:class:`~repro.runtime.durability.DurableEngine`
+      wrapping this engine) — the WAL already journals every batch
+      pre-partition, so the durable engine installs a rebuilder
+      (:meth:`install_rebuilder`) and in-memory journaling switches off.
+      Rebuild = reset *all* lanes and replay snapshot + WAL suffix, the
+      exact crash-recovery path; recovery time is linear in the WAL
+      suffix length.
+
+    Restarts are budgeted: more than ``max_restarts`` inside a sliding
+    ``window`` (seconds) re-raises the loud dead-worker error — a crash
+    loop should page an operator, not spin silently.  Only *death* is
+    supervised; a worker that answers ``("error", ...)`` (a trigger
+    failure) raises immediately, restarting would just mask the bug.
+    """
+
+    def __init__(
+        self,
+        engine: "ShardedEngine",
+        max_restarts: int = 3,
+        window: float = 60.0,
+        checkpoint_every: int = 64,
+    ) -> None:
+        if max_restarts < 1:
+            raise EventError(
+                f"supervisor max_restarts must be >= 1, got {max_restarts!r}"
+            )
+        if window <= 0:
+            raise EventError(
+                f"supervisor window must be positive, got {window!r}"
+            )
+        if checkpoint_every < 1:
+            raise EventError(
+                f"supervisor checkpoint_every must be >= 1, got "
+                f"{checkpoint_every!r}"
+            )
+        self.engine = engine
+        self.max_restarts = max_restarts
+        self.window = window
+        self.checkpoint_every = checkpoint_every
+        self.restarts = 0
+        self.last_recovery_seconds: Optional[float] = None
+        #: One entry per successful restart: lane, rebuild mode, number of
+        #: journal entries / WAL frames replayed, wall-clock seconds.
+        self.recoveries: list[dict] = []
+        self._restart_times: deque = deque()
+        self._rebuilder: Optional[Callable[[], int]] = None
+        self._rebuilding = False
+
+    def install_rebuilder(self, rebuilder: Callable[[], int]) -> None:
+        """Switch to durable rebuilds: ``rebuilder()`` restores the whole
+        engine from persistent state and returns the replayed frame
+        count.  In-memory journals and checkpoints are dropped — the WAL
+        supersedes them."""
+        self._rebuilder = rebuilder
+        for lane in self.engine._lanes:
+            if isinstance(lane, _SupervisedLane):
+                lane._journal = []
+                lane._checkpoint = None
+                lane._sends_since_checkpoint = 0
+
+    @property
+    def durable(self) -> bool:
+        """True when rebuilds replay persistent state instead of the
+        in-memory journal."""
+        return self._rebuilder is not None
+
+    def _recover(self, lane: "_SupervisedLane", cause: EventError) -> str:
+        """Respawn ``lane``'s worker and rebuild its state.
+
+        Returns the rebuild mode (``"journal"`` / ``"durable"``); raises
+        the budget-exhausted :class:`~repro.errors.EventError` without
+        restarting when the window is spent.
+        """
+        now = time.monotonic()
+        while self._restart_times and now - self._restart_times[0] > self.window:
+            self._restart_times.popleft()
+        if len(self._restart_times) >= self.max_restarts:
+            raise EventError(
+                f"shard worker {lane.index} died and the supervisor's "
+                f"restart budget is exhausted ({self.max_restarts} "
+                f"restarts in {self.window:g}s); giving up: {cause}"
+            ) from cause
+        self._restart_times.append(now)
+        started = time.perf_counter()
+        self.engine._replace_worker(lane)
+        if self._rebuilder is not None:
+            self._rebuilding = True
+            try:
+                replayed = self._rebuilder()
+            finally:
+                self._rebuilding = False
+            mode = "durable"
+        else:
+            checkpoint = lane._checkpoint
+            if checkpoint is not None:
+                lane._inner.restore(checkpoint[0], checkpoint[1], checkpoint[2])
+            for entry in lane._journal:
+                lane._apply(lane._inner, entry)
+            replayed = len(lane._journal)
+            mode = "journal"
+        elapsed = time.perf_counter() - started
+        self.restarts += 1
+        self.last_recovery_seconds = elapsed
+        self.recoveries.append(
+            {
+                "lane": lane.index,
+                "mode": mode,
+                "replayed": replayed,
+                "seconds": elapsed,
+            }
+        )
+        return mode
+
+
+class _SupervisedLane:
+    """A :class:`_ProcessLane` proxy that survives worker death.
+
+    Drop-in for the lane interface the router uses: every operation is
+    forwarded to the wrapped lane, and the dead-worker error triggers the
+    supervisor's respawn-and-rebuild instead of propagating.  In journal
+    mode the proxy also owns the lane's rebuild basis — the checkpoint
+    and the send journal (sends are journaled *before* they hit the
+    pipe, so the rebuild replay always covers the failed send).
+    """
+
+    def __init__(self, supervisor: ShardSupervisor, inner: _ProcessLane) -> None:
+        self.supervisor = supervisor
+        self._inner = inner
+        self._journal: list[tuple] = []
+        #: (maps, events_processed, stream_started) through the worker
+        #: pipe — pickled on the way out, so already a private deep copy.
+        self._checkpoint: Optional[tuple] = None
+        self._sends_since_checkpoint = 0
+
+    @property
+    def index(self) -> int:
+        return self._inner.index
+
+    @property
+    def _proc(self):
+        # The chaos/fault-injection harness reaches through the proxy for
+        # the worker pid it SIGKILLs.
+        return self._inner._proc
+
+    @staticmethod
+    def _apply(lane: _ProcessLane, entry: tuple) -> None:
+        if entry[0] == "batch":
+            lane.send_batch(entry[1], entry[2], entry[3])
+        else:
+            lane.send_rows(entry[1], entry[2], entry[3])
+
+    def _worker_death(self, exc: EventError) -> bool:
+        return (
+            getattr(exc, "worker_died", False)
+            and not self.supervisor._rebuilding
+        )
+
+    def _guarded_send(self, entry: tuple) -> None:
+        supervisor = self.supervisor
+        journaling = supervisor._rebuilder is None
+        if journaling:
+            self._journal.append(entry)
+        try:
+            self._apply(self._inner, entry)
+        except EventError as exc:
+            if not self._worker_death(exc):
+                raise
+            if supervisor._recover(self, exc) == "durable":
+                # The WAL replay re-applied the whole in-flight batch
+                # (every lane's slice): abort the router's remaining sends.
+                raise _BatchReplayed() from None
+            return  # journal replay included this entry
+        if journaling:
+            self._sends_since_checkpoint += 1
+            if self._sends_since_checkpoint >= supervisor.checkpoint_every:
+                self._take_checkpoint()
+
+    def _guarded_round_trip(self, op: Callable[[_ProcessLane], object]):
+        try:
+            return op(self._inner)
+        except EventError as exc:
+            if not self._worker_death(exc):
+                raise
+            self.supervisor._recover(self, exc)
+            return op(self._inner)
+
+    def _take_checkpoint(self) -> None:
+        reply = self._guarded_round_trip(
+            lambda lane: lane._round_trip(("collect",))
+        )
+        self._checkpoint = (
+            reply[1],
+            reply[2],
+            self.supervisor.engine._stream_started,
+        )
+        self._journal = []
+        self._sends_since_checkpoint = 0
+
+    # -- the lane interface --------------------------------------------------
+
+    def send_batch(self, relation: str, sign: int, columns: tuple) -> None:
+        self._guarded_send(("batch", relation, sign, columns))
+
+    def send_rows(self, relation: str, sign: int, rows: list) -> None:
+        self._guarded_send(("rows", relation, sign, rows))
+
+    def sync(self) -> None:
+        self._guarded_round_trip(lambda lane: lane.sync())
+
+    def events_processed(self) -> int:
+        return self._guarded_round_trip(lambda lane: lane.events_processed())
+
+    def collect_maps(self) -> dict[str, dict]:
+        return self._guarded_round_trip(lambda lane: lane.collect_maps())
+
+    def index_sizes(self) -> dict[str, int]:
+        return self._guarded_round_trip(lambda lane: lane.index_sizes())
+
+    def restore(
+        self, maps: dict, events_processed: int, stream_started: bool
+    ) -> None:
+        self._guarded_round_trip(
+            lambda lane: lane.restore(maps, events_processed, stream_started)
+        )
+        if self.supervisor._rebuilder is None:
+            # A restore resets the lane wholesale: it becomes the new
+            # rebuild basis and everything journaled before it is moot.
+            self._checkpoint = (
+                {name: dict(contents) for name, contents in maps.items()},
+                events_processed,
+                stream_started,
+            )
+            self._journal = []
+            self._sends_since_checkpoint = 0
+
+    def close(self) -> None:
+        self._inner.close()
+
+
 def _merge_lane_maps(
     program: CompiledProgram, lane_maps: Iterable[Mapping[str, Mapping]]
 ) -> dict[str, dict]:
@@ -875,7 +1152,22 @@ class ShardedEngine:
         second_order: bool = True,
         columnar: bool = True,
         spec: Optional[PartitionSpec] = None,
+        supervise: bool = False,
+        max_worker_restarts: int = 3,
+        restart_window: float = 60.0,
+        checkpoint_every: int = 64,
     ) -> None:
+        """``supervise=True`` (with ``parallel=True``) wraps each forked
+        worker lane in a :class:`ShardSupervisor` that respawns dead
+        workers and rebuilds their state — from a coordinator-side
+        checkpoint + send journal (refreshed every ``checkpoint_every``
+        sends), or from snapshot + WAL replay when a
+        :class:`~repro.runtime.durability.DurableEngine` wraps this
+        engine.  At most ``max_worker_restarts`` restarts are attempted
+        per sliding ``restart_window`` seconds; past the budget the
+        dead-worker :class:`~repro.errors.EventError` propagates as
+        before.  In-process lanes cannot die, so ``supervise`` is a no-op
+        without forked workers."""
         if shards < 1:
             raise EventError(f"shard count must be >= 1, got {shards!r}")
         self.program = program
@@ -903,16 +1195,15 @@ class ShardedEngine:
         self.parallel = False
         self._closed = False
         self._lanes: list = []
+        self._ctx = None
+        self.supervisor: Optional[ShardSupervisor] = None
         if self.spec.partitionable and shards > 1:
             if parallel:
                 ctx = self._fork_context()
                 if ctx is not None:
+                    self._ctx = ctx
                     self._lanes = [
-                        _ProcessLane(
-                            ctx, program, mode, use_indexes, optimize,
-                            second_order, columnar, index=index,
-                        )
-                        for index in range(shards)
+                        self._spawn_worker(index) for index in range(shards)
                     ]
                     self.parallel = True
             if not self._lanes:
@@ -930,6 +1221,16 @@ class ShardedEngine:
                     )
                     for _ in range(shards)
                 ]
+        if supervise and self.parallel:
+            self.supervisor = ShardSupervisor(
+                self,
+                max_restarts=max_worker_restarts,
+                window=restart_window,
+                checkpoint_every=checkpoint_every,
+            )
+            self._lanes = [
+                _SupervisedLane(self.supervisor, lane) for lane in self._lanes
+            ]
 
     @staticmethod
     def _fork_context():
@@ -939,6 +1240,20 @@ class ShardedEngine:
             return multiprocessing.get_context("fork")
         except ValueError:
             return None
+
+    def _spawn_worker(self, index: int) -> _ProcessLane:
+        return _ProcessLane(
+            self._ctx, self.program, self.mode, self.use_indexes,
+            self.optimize, self.second_order, self.columnar, index=index,
+        )
+
+    def _replace_worker(self, lane: "_SupervisedLane") -> None:
+        """Swap a supervised lane's dead worker for a fresh fork."""
+        try:
+            lane._inner.close()
+        except Exception:
+            pass
+        lane._inner = self._spawn_worker(lane.index)
 
     # -- event processing -------------------------------------------------
 
@@ -1000,27 +1315,35 @@ class ShardedEngine:
                 self.events_skipped += count
             return 0
         column = self.spec.column_for(relation)
-        if column is None or not self._lanes:
-            self._serial._process_batch(batch)
-        elif count == 1:
-            row = batch.row(0)
-            shard = hash(row[column]) % len(self._lanes)
-            self._lanes[shard].send_rows(relation, sign, [row])
-        elif count <= _ROW_ROUTE_THRESHOLD:
-            # Short runs: row-level hash routing is cheaper than building
-            # per-shard column gathers; each lane transposes its (tiny)
-            # slice lazily.
-            for shard, shard_rows in enumerate(
-                partition_rows(batch.rows, column, len(self._lanes))
-            ):
-                if shard_rows:
-                    self._lanes[shard].send_rows(relation, sign, shard_rows)
-        else:
-            for shard, shard_columns in enumerate(
-                partition_columns(batch.columns, column, len(self._lanes))
-            ):
-                if shard_columns and shard_columns[0]:
-                    self._lanes[shard].send_batch(relation, sign, shard_columns)
+        try:
+            if column is None or not self._lanes:
+                self._serial._process_batch(batch)
+            elif count == 1:
+                row = batch.row(0)
+                shard = hash(row[column]) % len(self._lanes)
+                self._lanes[shard].send_rows(relation, sign, [row])
+            elif count <= _ROW_ROUTE_THRESHOLD:
+                # Short runs: row-level hash routing is cheaper than
+                # building per-shard column gathers; each lane transposes
+                # its (tiny) slice lazily.
+                for shard, shard_rows in enumerate(
+                    partition_rows(batch.rows, column, len(self._lanes))
+                ):
+                    if shard_rows:
+                        self._lanes[shard].send_rows(relation, sign, shard_rows)
+            else:
+                for shard, shard_columns in enumerate(
+                    partition_columns(batch.columns, column, len(self._lanes))
+                ):
+                    if shard_columns and shard_columns[0]:
+                        self._lanes[shard].send_batch(
+                            relation, sign, shard_columns
+                        )
+        except _BatchReplayed:
+            # A supervised durable rebuild replayed the WAL, which already
+            # contains this batch in full — the un-sent lane slices were
+            # applied by the replay, so routing must not resume.
+            pass
         if self._batch_listeners:
             self._notify_listeners(batch)
         return count

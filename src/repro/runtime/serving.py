@@ -27,6 +27,13 @@ kept continuously fresh for many readers).  Three layers:
   ``snapshot`` frame (the view's current row multiset and its LSN),
   then every subsequent ``delta`` with a strictly greater LSN — a
   late-joining or lagging client is consistent by construction.
+  A *resuming* subscriber (``subscribe`` with ``from_lsn``) skips the
+  snapshot: the server replays the missed delta suffix — from its
+  in-memory history ring, or from the WAL on a durable engine — and
+  answers ``resumed`` followed by the replayed ``delta`` frames, or
+  ``resume_gap`` when the suffix is no longer reachable (history
+  evicted and WAL truncated), telling the client to fall back to a
+  plain snapshot-then-stream subscribe.
 
 * :class:`ViewServer` / :class:`SubscriberClient` — an asyncio server
   wrapping any engine (:class:`~repro.runtime.engine.DeltaEngine`,
@@ -60,15 +67,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import os
+import random
 import socket
 import struct
 import threading
 import time
+import weakref
 from collections import Counter, deque
 from typing import Iterable, Mapping, Optional, Sequence
 
-from repro.errors import EventError, ServingError
+from repro.errors import EventError, ResumeGapError, ServingError
 from repro.runtime.views import result_delta
+
+_log = logging.getLogger("repro.serving")
 
 #: Frame length prefix: one unsigned 32-bit big-endian length.
 _LENGTH = struct.Struct(">I")
@@ -83,7 +96,48 @@ BACKPRESSURE_POLICIES = ("block", "drop", "coalesce")
 #: Default bound of a subscriber's send queue, in frames.
 DEFAULT_QUEUE_FRAMES = 256
 
+#: Default per-view delta-history ring bound (frames) for
+#: resume-from-LSN; see :class:`ViewServer`.
+DEFAULT_HISTORY_FRAMES = 1024
+
 _CLOSE = object()  # writer-task poison pill
+
+#: Serving sockets a forked child must not inherit.  Shard workers are
+#: forked while the server runs (the supervisor respawns them mid-
+#: stream), and a fork copies the whole fd table — a child holding a
+#: duplicate of the listen socket keeps the port bound after the server
+#: stops (restart-in-place then fails EADDRINUSE), and a duplicate of a
+#: connection fd keeps that connection half-alive after the real owner
+#: closes it (disconnects go unnoticed).  Every serving socket is
+#: registered here and closed again *in the child* right after fork;
+#: the parent's fds are untouched.
+_fork_isolated_sockets: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _isolate_from_forks(sock) -> None:
+    """Register one socket for close-after-fork in child processes.
+
+    asyncio hands out non-weakrefable ``TransportSocket`` wrappers;
+    unwrap to the underlying ``socket.socket`` so the registry can hold
+    it weakly (closed sockets age out with their owners).
+    """
+    raw = getattr(sock, "_sock", sock)
+    try:
+        _fork_isolated_sockets.add(raw)
+    except TypeError:  # pragma: no cover - unexpected socket flavor
+        pass
+
+
+def _close_sockets_after_fork() -> None:
+    for sock in list(_fork_isolated_sockets):
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_close_sockets_after_fork)
 
 
 # ---------------------------------------------------------------------------
@@ -204,8 +258,14 @@ class ViewDeltaTap:
         self._results: dict[str, Counter] = {
             view: Counter(engine.results(view)) for view in selected
         }
-        #: LSN of the last observed batch (0 before any event).
-        self.lsn = 0
+        #: LSN of the last observed batch — seeded from the engine's LSN
+        #: clock (the WAL tip on a durable engine), so a tap over an
+        #: already-running or recovered engine starts at its true
+        #: position instead of 0.
+        clock = getattr(engine, "lsn_source", None)
+        self.lsn = (
+            clock() if clock is not None else getattr(engine, "_tap_clock", 0)
+        )
 
     def snapshot(self, view: str) -> tuple[int, list[tuple[tuple, int]]]:
         """The view's current row multiset and its LSN (the catch-up
@@ -244,7 +304,15 @@ class ViewDeltaTap:
 class _ClientState:
     """Server-side state of one connected client."""
 
-    __slots__ = ("writer", "queue", "views", "name", "dropped", "writer_task")
+    __slots__ = (
+        "writer",
+        "queue",
+        "views",
+        "name",
+        "dropped",
+        "writer_task",
+        "last_active",
+    )
 
     def __init__(self, writer, queue_frames: int, name: str) -> None:
         self.writer = writer
@@ -253,6 +321,9 @@ class _ClientState:
         self.name = name
         self.dropped = False
         self.writer_task: Optional[asyncio.Task] = None
+        #: Monotonic stamp of the client's last observed progress: any
+        #: received op, or its writer draining a frame onto the socket.
+        self.last_active = time.monotonic()
 
 
 class ViewServer:
@@ -278,6 +349,15 @@ class ViewServer:
     ``backpressure`` picks the slow-client policy (``"block"`` /
     ``"drop"`` / ``"coalesce"``, see the module docstring);
     ``queue_frames`` bounds each client's send queue.
+
+    ``history_frames`` bounds the per-view delta history ring backing
+    resume-from-LSN: a resume older than the ring falls through to the
+    WAL on a durable engine, and to ``resume_gap`` otherwise (``0``
+    disables in-memory resume entirely).  ``idle_timeout`` (seconds,
+    default off) evicts subscribers that neither send an op nor accept
+    a frame within the window — a final best-effort ``timeout`` frame
+    is written straight to the socket, so one stalled reader cannot pin
+    ingest forever under ``block`` backpressure.
     """
 
     def __init__(
@@ -288,6 +368,8 @@ class ViewServer:
         views: Optional[Iterable[str]] = None,
         backpressure: str = "block",
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        history_frames: int = DEFAULT_HISTORY_FRAMES,
+        idle_timeout: Optional[float] = None,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ServingError(
@@ -298,11 +380,21 @@ class ViewServer:
             raise ServingError(
                 f"queue_frames must be >= 2, got {queue_frames!r}"
             )
+        if history_frames < 0:
+            raise ServingError(
+                f"history_frames must be >= 0, got {history_frames!r}"
+            )
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ServingError(
+                f"idle_timeout must be positive (or None), got {idle_timeout!r}"
+            )
         self.engine = engine
         self.host = host
         self.port = port
         self.backpressure = backpressure
         self.queue_frames = queue_frames
+        self.history_frames = history_frames
+        self.idle_timeout = idle_timeout
         self.tap = ViewDeltaTap(engine, views)
         self._server: Optional[asyncio.AbstractServer] = None
         self._ingest_lock = asyncio.Lock()
@@ -310,9 +402,20 @@ class ViewServer:
         self._subscribers: dict[str, set[_ClientState]] = {
             view: set() for view in self.tap.views
         }
+        #: Per-view ring of recent delta frames, and the LSN *floor* of
+        #: each ring: every delta with ``lsn > floor`` is retained, so a
+        #: resume from any ``from_lsn >= floor`` replays from memory.
+        self._history: dict[str, deque] = {
+            view: deque(maxlen=history_frames) for view in self.tap.views
+        }
+        self._history_floor: dict[str, int] = {
+            view: self.tap.lsn for view in self.tap.views
+        }
         self._clients: set[_ClientState] = set()
         self._client_counter = 0
+        self._monitor_task: Optional[asyncio.Task] = None
         self.clients_dropped = 0
+        self.clients_timed_out = 0
         self.deltas_sent = 0
 
     # -- lifecycle ----------------------------------------------------------
@@ -321,11 +424,17 @@ class ViewServer:
         """Bind the listening socket and register the engine tap."""
         if self._server is not None:
             raise ServingError("server already started")
-        self.engine.add_batch_listener(self._on_batch)
         self._server = await asyncio.start_server(
             self._handle_client, host=self.host, port=self.port
         )
+        # Register the tap only once the bind has succeeded, so a failed
+        # start (port already in use) leaves no listener on the engine.
+        self.engine.add_batch_listener(self._on_batch)
+        for sock in self._server.sockets:
+            _isolate_from_forks(sock)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.idle_timeout is not None:
+            self._monitor_task = asyncio.ensure_future(self._idle_monitor())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -337,11 +446,31 @@ class ViewServer:
         if self._server is None:
             return
         self.engine.remove_batch_listener(self._on_batch)
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            await asyncio.gather(self._monitor_task, return_exceptions=True)
+            self._monitor_task = None
         self._server.close()
         await self._server.wait_closed()
         self._server = None
-        for client in list(self._clients):
+        clients = list(self._clients)
+        for client in clients:
             self._disconnect(client)
+        # ``_disconnect`` only *schedules* the transport teardown; wait
+        # for the sockets to genuinely close before returning, so the
+        # port is immediately rebindable (restart-in-place) and no fds
+        # leak into a stopped event loop.
+        tasks = [c.writer_task for c in clients if c.writer_task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for client in clients:
+            transport = client.writer.transport
+            if transport is not None:
+                transport.abort()
+            try:
+                await asyncio.wait_for(client.writer.wait_closed(), timeout=1.0)
+            except (asyncio.TimeoutError, OSError):
+                pass
         self._clients.clear()
         for waiters in self._subscribers.values():
             waiters.clear()
@@ -403,9 +532,21 @@ class ViewServer:
                     "ts": ts,
                     "changes": [[list(row), weight] for row, weight in changes],
                 }
+                self._remember(view, frame)
                 for client in list(self._subscribers.get(view, ())):
                     await self._deliver(client, frame)
                     self.deltas_sent += 1
+
+    def _remember(self, view: str, frame: dict) -> None:
+        """Retain one delta frame in the view's resume history ring,
+        advancing the floor past whatever eviction discards."""
+        history = self._history[view]
+        if history.maxlen == 0:
+            self._history_floor[view] = frame["lsn"]
+            return
+        if len(history) == history.maxlen:
+            self._history_floor[view] = history[0]["lsn"]
+        history.append(frame)
 
     # -- delivery / backpressure -------------------------------------------
 
@@ -414,8 +555,16 @@ class ViewServer:
         if client.dropped:
             return False
         if self.backpressure == "block":
-            await client.queue.put(frame)
-            return True
+            # Wait in slices rather than a bare put() so an eviction
+            # (idle timeout, disconnect) unpins the blocked ingest path
+            # promptly instead of waiting on a queue nothing drains.
+            while not client.dropped:
+                try:
+                    await asyncio.wait_for(client.queue.put(frame), timeout=0.1)
+                    return True
+                except asyncio.TimeoutError:
+                    continue
+            return False
         try:
             client.queue.put_nowait(frame)
             return True
@@ -502,6 +651,44 @@ class ViewServer:
 
     # -- connection handling ------------------------------------------------
 
+    async def _idle_monitor(self) -> None:
+        """Evict subscribers that made no progress within ``idle_timeout``.
+
+        Progress is either direction: an op received, or the writer
+        draining a frame onto the socket.  The evicted client gets one
+        best-effort ``timeout`` frame written straight to the transport
+        (its queue may be full — that is exactly why it is evicted).
+        """
+        interval = min(1.0, self.idle_timeout / 4)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for client in list(self._clients):
+                if client.dropped or now - client.last_active <= self.idle_timeout:
+                    continue
+                self.clients_timed_out += 1
+                _log.warning(
+                    "evicting %s: no read or ping within %gs",
+                    client.name,
+                    self.idle_timeout,
+                )
+                try:
+                    client.writer.write(
+                        encode_frame(
+                            {
+                                "type": "timeout",
+                                "message": (
+                                    "evicted: no read or ping within "
+                                    f"{self.idle_timeout:g}s"
+                                ),
+                                "lsn": self.tap.lsn,
+                            }
+                        )
+                    )
+                except Exception:
+                    pass
+                self._disconnect(client)
+
     async def _writer_loop(self, client: _ClientState) -> None:
         writer = client.writer
         try:
@@ -511,7 +698,8 @@ class ViewServer:
                     break
                 writer.write(encode_frame(frame))
                 await writer.drain()
-        except (ConnectionError, asyncio.CancelledError):
+                client.last_active = time.monotonic()
+        except (OSError, asyncio.CancelledError):
             pass
         finally:
             try:
@@ -520,6 +708,17 @@ class ViewServer:
                 pass
 
     async def _handle_client(self, reader, writer) -> None:
+        # Mark accepted sockets SO_REUSEADDR so a lingering half-closed
+        # connection (e.g. a stalled reader that never FINs back) cannot
+        # hold the listen port against a restart-in-place rebind; keep
+        # them out of forked shard workers for the same reason.
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            _isolate_from_forks(sock)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            except OSError:
+                pass
         self._client_counter += 1
         client = _ClientState(
             writer, self.queue_frames, f"client-{self._client_counter}"
@@ -530,11 +729,30 @@ class ViewServer:
             while not client.dropped:
                 prefix = await reader.readexactly(_LENGTH.size)
                 body = await reader.readexactly(_frame_length(prefix))
+                client.last_active = time.monotonic()
                 await self._dispatch(client, decode_frame(body))
-        except (asyncio.IncompleteReadError, ConnectionError):
-            pass
+        except asyncio.IncompleteReadError as exc:
+            # A clean close lands here with no partial bytes; a client
+            # dying mid-frame leaves a torn length prefix or body.  Both
+            # are reaped quietly — never propagated to the ingest path.
+            if exc.partial:
+                _log.warning(
+                    "%s disconnected mid-frame (%d bytes of a torn frame "
+                    "discarded)",
+                    client.name,
+                    len(exc.partial),
+                )
+        except OSError as exc:
+            _log.info("%s connection lost: %s", client.name, exc)
         except ServingError as exc:
-            await self._deliver(client, {"type": "error", "message": str(exc)})
+            # Malformed framing (oversized length prefix, undecodable
+            # body): tell the client directly — its queue may be full —
+            # then reap it.
+            _log.warning("%s sent a malformed frame: %s", client.name, exc)
+            try:
+                writer.write(encode_frame({"type": "error", "message": str(exc)}))
+            except Exception:
+                pass
         finally:
             if not client.dropped:
                 for view in client.views:
@@ -570,16 +788,60 @@ class ViewServer:
 
     async def _op_subscribe(self, client: _ClientState, message: dict) -> None:
         view = message.get("view")
-        # Snapshot and registration are atomic with respect to ingest, so
-        # the subscriber's stream is exactly "snapshot at LSN, then every
-        # delta with a greater LSN".
+        from_lsn = message.get("from_lsn")
+        if from_lsn is not None and not isinstance(from_lsn, int):
+            await self._deliver(
+                client,
+                {
+                    "type": "error",
+                    "message": f"from_lsn must be an integer, got {from_lsn!r}",
+                },
+            )
+            return
+        # Snapshot (or resume replay) and registration are atomic with
+        # respect to ingest, so the subscriber's stream is exactly
+        # "catch-up at LSN, then every delta with a greater LSN".
         async with self._ingest_lock:
             try:
-                lsn, rows = self.tap.snapshot(view)
+                if from_lsn is None:
+                    lsn, rows = self.tap.snapshot(view)
+                else:
+                    frames = self._resume_frames(view, from_lsn)
             except ServingError as exc:
                 await self._deliver(
                     client, {"type": "error", "message": str(exc)}
                 )
+                return
+            if from_lsn is not None:
+                if frames is None:
+                    # The suffix past from_lsn is unreachable (history
+                    # evicted, WAL truncated or absent): the client must
+                    # fall back to snapshot-then-stream.
+                    await self._deliver(
+                        client,
+                        {
+                            "type": "resume_gap",
+                            "view": view,
+                            "requested_lsn": from_lsn,
+                            "lsn": self.tap.lsn,
+                        },
+                    )
+                    return
+                client.views.add(view)
+                self._subscribers[view].add(client)
+                await self._deliver(
+                    client,
+                    {
+                        "type": "resumed",
+                        "view": view,
+                        "lsn": self.tap.lsn,
+                        "from_lsn": from_lsn,
+                        "replayed": len(frames),
+                    },
+                )
+                for frame in frames:
+                    await self._deliver(client, frame)
+                    self.deltas_sent += 1
                 return
             client.views.add(view)
             self._subscribers[view].add(client)
@@ -592,6 +854,101 @@ class ViewServer:
                     "rows": [[list(row), weight] for row, weight in rows],
                 },
             )
+
+    # -- resume-from-LSN ----------------------------------------------------
+
+    def _resume_frames(
+        self, view: str, from_lsn: int
+    ) -> Optional[list[dict]]:
+        """The delta frames for ``view`` past ``from_lsn``, or ``None``
+        when that suffix is unreachable (the ``resume_gap`` answer).
+
+        Served from the in-memory history ring when ``from_lsn`` is at
+        or above the ring's floor, else rebuilt from the WAL on a
+        durable engine (snapshot + suffix shadow replay).
+        """
+        if view not in self._history:
+            raise ServingError(
+                f"unknown view {view!r}; this server serves: "
+                + ", ".join(self.tap.views)
+            )
+        if from_lsn > self.tap.lsn:
+            # A position from this server's future: its state was lost
+            # (non-durable restart) — the client must re-snapshot.
+            return None
+        if from_lsn >= self._history_floor[view]:
+            return [
+                frame
+                for frame in self._history[view]
+                if frame["lsn"] > from_lsn
+            ]
+        return self._wal_resume_frames(view, from_lsn)
+
+    def _wal_resume_frames(
+        self, view: str, from_lsn: int
+    ) -> Optional[list[dict]]:
+        """Rebuild the delta suffix past ``from_lsn`` from durable state.
+
+        Loads the newest snapshot at or below ``from_lsn`` into a
+        *shadow* engine, replays the WAL suffix through it, and taps the
+        replay from the ``from_lsn`` boundary onward — the same
+        LSN-stamped deltas the live tap emitted, recomputed from disk.
+        Returns ``None`` when the engine is not durable or the WAL no
+        longer reaches back to ``from_lsn``.
+        """
+        from repro.runtime.durability import DurableEngine, WriteAheadLog
+        from repro.runtime.engine import DeltaEngine
+        from repro.runtime.events import EventBatch
+
+        engine = self.engine
+        if not isinstance(engine, DurableEngine):
+            return None
+        engine._wal.sync()
+        snapshot = engine._snapshots.load_latest(max_lsn=from_lsn)
+        watermark = 0
+        # Any engine flavour replays to the same results; a plain
+        # non-strict DeltaEngine is the cheapest shadow.
+        shadow = DeltaEngine(engine.program, strict=False)
+        if snapshot is not None:
+            shadow.restore_state(
+                snapshot["maps"],
+                events_processed=snapshot.get("events_processed", 0),
+                events_skipped=snapshot.get("events_skipped", 0),
+                stream_started=snapshot.get("stream_started"),
+            )
+            watermark = snapshot["lsn"]
+        tap: Optional[ViewDeltaTap] = None
+        frames: list[dict] = []
+        ts = time.time()
+        try:
+            for lsn, relation, sign, columns in WriteAheadLog.replay(
+                engine.directory, after_lsn=watermark
+            ):
+                if tap is None and lsn > from_lsn:
+                    # Construct the tap at the resume boundary so its
+                    # cached baseline is the state as of from_lsn.
+                    tap = ViewDeltaTap(shadow, [view])
+                batch = EventBatch.from_columns(relation, sign, columns)
+                shadow._process_batch(batch)
+                if tap is not None:
+                    changes = tap.on_batch(lsn, batch).get(view)
+                    if changes:
+                        frames.append(
+                            {
+                                "type": "delta",
+                                "view": view,
+                                "lsn": lsn,
+                                "ts": ts,
+                                "replayed": True,
+                                "changes": [
+                                    [list(row), weight]
+                                    for row, weight in changes
+                                ],
+                            }
+                        )
+        except ResumeGapError:
+            return None
+        return frames
 
     async def _op_publish(self, client: _ClientState, message: dict) -> None:
         try:
@@ -670,7 +1027,13 @@ class ServerThread:
         self._thread.start()
         started.wait()
         if failure:
+            # Leave the instance inert (as if never started): stop()
+            # stays a no-op and start() may be retried — e.g. rebinding
+            # a just-released port during a restart-in-place.
             self._thread.join()
+            self._loop.close()
+            self._loop = None
+            self._thread = None
             raise failure[0]
         return self
 
@@ -735,6 +1098,10 @@ class SubscriberClient:
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
+        # A forked shard worker must not inherit this connection: its
+        # duplicate fd would keep the connection open after close(), so
+        # the server would never see the disconnect.
+        _isolate_from_forks(self._sock)
         self._pending: deque[dict] = deque()
         self._closed = False
 
@@ -773,21 +1140,40 @@ class SubscriberClient:
             return self._pending.popleft()
         return self._recv_frame()
 
-    def _wait_for(self, frame_type: str, view: Optional[str] = None) -> dict:
+    def _wait_for(self, frame_type, view: Optional[str] = None) -> dict:
+        types = (
+            (frame_type,) if isinstance(frame_type, str) else tuple(frame_type)
+        )
         while True:
             message = self._recv_frame()
             if message.get("type") == "error":
                 raise ServingError(message.get("message", "server error"))
-            if message.get("type") == frame_type and (
+            if message.get("type") == "timeout":
+                raise ServingError(
+                    message.get("message", "evicted by server idle timeout")
+                )
+            if message.get("type") in types and (
                 view is None or message.get("view") == view
             ):
                 return message
             self._pending.append(message)
 
-    def subscribe(self, view: str) -> dict:
-        """Subscribe; returns the catch-up ``snapshot`` frame."""
-        self._send({"op": "subscribe", "view": view})
-        return self._wait_for("snapshot", view)
+    def subscribe(self, view: str, from_lsn: Optional[int] = None) -> dict:
+        """Subscribe; returns the catch-up frame.
+
+        A plain subscribe returns the ``snapshot`` frame.  With
+        ``from_lsn``, the server resumes the delta stream past that LSN
+        instead of re-snapshotting: the return is either the ``resumed``
+        header (the replayed deltas follow as ordinary ``delta``
+        frames), or the ``resume_gap`` frame when the server can no
+        longer reach that suffix — the caller then falls back to a
+        plain subscribe.
+        """
+        if from_lsn is None:
+            self._send({"op": "subscribe", "view": view})
+            return self._wait_for("snapshot", view)
+        self._send({"op": "subscribe", "view": view, "from_lsn": from_lsn})
+        return self._wait_for(("resumed", "resume_gap"), view)
 
     def unsubscribe(self, view: str) -> dict:
         self._send({"op": "unsubscribe", "view": view})
@@ -852,3 +1238,181 @@ class SubscriberClient:
 def rows_from_snapshot(snapshot: Mapping) -> Counter:
     """The row multiset a ``snapshot`` frame carries, as a Counter."""
     return Counter({row: weight for row, weight in snapshot["rows"]})
+
+
+# ---------------------------------------------------------------------------
+# The self-healing subscriber
+# ---------------------------------------------------------------------------
+
+
+class ReconnectingSubscriber:
+    """A :class:`SubscriberClient` wrapper that survives its server.
+
+    The client half of the fault-tolerance contract, for one view:
+
+    * **auto-reconnect** — a lost connection (server restart, network
+      fault, idle eviction) is retried with exponential backoff plus
+      jitter, up to ``max_reconnects`` *consecutive* failures (the
+      budget resets on every successful connect);
+    * **resume-from-LSN** — reconnects subscribe with
+      ``from_lsn=<last delivered LSN>``, so the server replays exactly
+      the missed suffix instead of re-snapshotting;
+    * **idempotent delivery** — delta frames at or below the last
+      delivered LSN (duplicates straddling a crash) are discarded, so a
+      flapping server yields the same recorded delta sequence as a
+      stable one;
+    * **gap fallback** — on ``resume_gap`` the subscriber re-snapshots
+      and records one synthetic bridging delta (marked
+      ``"synthesized": True``; omitted when nothing was actually
+      missed), keeping :attr:`rows` correct even past a truncated WAL.
+
+    :attr:`rows` is the live row multiset, :attr:`deltas` the
+    deduplicated delta log; :meth:`pump_until` drives the receive loop
+    (reconnecting through failures) until the server's LSN reaches a
+    target and every delta up to it is recorded.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        view: str,
+        max_reconnects: int = 8,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.5,
+        timeout: float = 30.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_reconnects < 1:
+            raise ServingError(
+                f"max_reconnects must be >= 1, got {max_reconnects!r}"
+            )
+        self.host = host
+        self.port = port
+        self.view = view
+        self.max_reconnects = max_reconnects
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self.timeout = timeout
+        self._rng = rng if rng is not None else random.Random()
+        self.rows: Counter = Counter()
+        self.deltas: list[dict] = []
+        self.last_lsn: Optional[int] = None
+        self.reconnects = 0
+        self.resume_gaps = 0
+        self._client: Optional[SubscriberClient] = None
+        self._connect()
+
+    # -- connection management ----------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        return delay * (1.0 + self.jitter * self._rng.random())
+
+    def _connect(self) -> None:
+        """(Re)establish the subscription, resuming past ``last_lsn``."""
+        failures = 0
+        while True:
+            if self._client is not None:
+                self._client.close()
+                self._client = None
+            try:
+                client = SubscriberClient(
+                    self.host, self.port, timeout=self.timeout
+                )
+                if self.last_lsn is None:
+                    reply = client.subscribe(self.view)
+                    self.rows = rows_from_snapshot(reply)
+                    self.last_lsn = reply["lsn"]
+                else:
+                    reply = client.subscribe(self.view, from_lsn=self.last_lsn)
+                    if reply["type"] == "resume_gap":
+                        self.resume_gaps += 1
+                        _log.info(
+                            "resume gap for %r past LSN %s: re-snapshotting",
+                            self.view,
+                            self.last_lsn,
+                        )
+                        self._bridge(client.subscribe(self.view))
+            except (ServingError, OSError) as exc:
+                failures += 1
+                if failures > self.max_reconnects:
+                    raise ServingError(
+                        f"reconnect budget exhausted ({self.max_reconnects} "
+                        f"consecutive failures) for view {self.view!r}: {exc}"
+                    ) from exc
+                time.sleep(self._backoff(failures - 1))
+                continue
+            self._client = client
+            return
+
+    def _bridge(self, snapshot: Mapping) -> None:
+        """Fold a fallback snapshot in as one synthetic catch-up delta."""
+        target = rows_from_snapshot(snapshot)
+        changes = result_delta(self.rows, target)
+        if changes:
+            apply_changes(self.rows, changes)
+            self.deltas.append(
+                {
+                    "type": "delta",
+                    "view": self.view,
+                    "lsn": snapshot["lsn"],
+                    "synthesized": True,
+                    "changes": changes,
+                }
+            )
+        self.last_lsn = snapshot["lsn"]
+
+    def _record(self, frame: dict) -> bool:
+        """Deliver one delta frame exactly once (duplicates discarded)."""
+        lsn = frame.get("lsn", 0)
+        if self.last_lsn is not None and lsn <= self.last_lsn:
+            return False
+        apply_changes(self.rows, frame["changes"])
+        self.deltas.append(frame)
+        self.last_lsn = lsn
+        return True
+
+    def _drain_pending(self) -> None:
+        client = self._client
+        while client._pending:
+            message = client._pending.popleft()
+            if (
+                message.get("type") == "delta"
+                and message.get("view") == self.view
+            ):
+                self._record(message)
+
+    # -- receiving ----------------------------------------------------------
+
+    def pump_until(self, lsn: int, deadline: float = 60.0) -> None:
+        """Receive (reconnecting through failures) until the server's
+        LSN reaches ``lsn`` and every delta at or below it is recorded."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                barrier = self._client.ping()
+                self._drain_pending()
+                if barrier >= lsn:
+                    return
+            except (ServingError, OSError):
+                self.reconnects += 1
+                self._connect()
+            if time.monotonic() > end:
+                raise ServingError(
+                    f"server did not reach LSN {lsn} within {deadline:g}s"
+                )
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def __enter__(self) -> "ReconnectingSubscriber":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

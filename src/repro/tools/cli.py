@@ -113,6 +113,13 @@ def _make_engine(program, args):
     columnar = not getattr(args, "no_columnar", False)
     durable = getattr(args, "durable", None)
     mode = _resolve_mode(args)
+    supervise_kwargs = {}
+    if shards > 1 and getattr(args, "supervise", False):
+        supervise_kwargs = {
+            "supervise": True,
+            "max_worker_restarts": getattr(args, "max_worker_restarts", 3),
+            "restart_window": getattr(args, "restart_window", 60.0),
+        }
     if durable:
         from repro.runtime.durability import DurableEngine
 
@@ -121,11 +128,12 @@ def _make_engine(program, args):
             fsync=getattr(args, "fsync", "batch"),
             snapshot_every=getattr(args, "snapshot_every", None),
             mode=mode, optimize=optimize, columnar=columnar,
+            **supervise_kwargs,
         )
     if shards > 1:
         return ShardedEngine(
             program, shards=shards, mode=mode, parallel=True,
-            optimize=optimize, columnar=columnar,
+            optimize=optimize, columnar=columnar, **supervise_kwargs,
         )
     return DeltaEngine(
         program, mode=mode, optimize=optimize, columnar=columnar
@@ -232,6 +240,8 @@ def cmd_serve(args) -> int:
         server = ViewServer(
             engine, host=args.host, port=args.port,
             backpressure=args.backpressure, queue_frames=args.queue_frames,
+            history_frames=args.history_frames,
+            idle_timeout=args.idle_timeout,
         )
         await server.start()
         print(f"-- serving view 'q' on {server.host}:{server.port} "
@@ -348,6 +358,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--schema", help="inline DDL string")
         p.add_argument("--query", required=True, help="the standing SQL query")
 
+    def _supervisor_args(p):
+        p.add_argument("--supervise", action="store_true",
+                       help="with --shards N > 1, respawn and rebuild dead "
+                       "worker processes instead of failing the stream")
+        p.add_argument("--max-worker-restarts", type=int, default=3,
+                       metavar="N",
+                       help="supervisor restart budget per window "
+                       "(default: 3)")
+        p.add_argument("--restart-window", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="sliding window the restart budget covers "
+                       "(default: 60)")
+
     p_compile = sub.add_parser("compile", help="show compilation artifacts")
     common(p_compile)
     p_compile.add_argument(
@@ -396,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="with --durable, checkpoint every N events "
                        "(bounds the WAL suffix a restart replays)")
+    _supervisor_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_serve = sub.add_parser(
@@ -441,6 +465,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--snapshot-every", type=int, default=None,
                          metavar="N",
                          help="with --durable, checkpoint every N events")
+    p_serve.add_argument("--history-frames", type=int, default=1024,
+                         metavar="N",
+                         help="per-view delta history retained for "
+                         "resume-from-LSN reconnects (0 disables the "
+                         "in-memory ring; default: 1024)")
+    p_serve.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="evict subscribers that neither read nor "
+                         "ping within this window (default: off)")
+    _supervisor_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_recover = sub.add_parser(
@@ -477,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-columnar", action="store_true",
                          help="keep every maintained map in plain dict "
                          "storage (the storage ablation)")
+    _supervisor_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

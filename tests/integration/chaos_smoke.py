@@ -1,0 +1,165 @@
+"""CI chaos smoke: faults must not change what subscribers see.
+
+Fixed-seed fault scenarios through :mod:`tests.integration.chaos_harness`:
+each runs one event stream twice — fault-free and under a
+:class:`~tests.integration.chaos_harness.FaultSchedule` — over identical
+configurations, and requires the faulted subscriber's reassembled delta
+log to be **repr-identical** to the fault-free run's, with its
+accumulated rows equal to the engine's results.
+
+The headline scenario is the acceptance criterion for the
+fault-tolerance work: a subscriber killed-and-reconnected mid-stream
+*while the server also loses a SIGKILLed shard worker mid-batch* (plus
+a server restart-in-place and a stalled reader in the composed case).
+
+Run ``python tests/integration/chaos_smoke.py`` (with ``PYTHONPATH=src``).
+Exit status 0 = every scenario in parity.  A watchdog alarm aborts the
+run if anything wedges (the CI job adds its own hard timeout as well).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[2]
+for entry in (str(_ROOT / "src"), str(_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.compiler import compile_sql  # noqa: E402
+from repro.sql.catalog import Catalog  # noqa: E402
+from tests.integration.chaos_harness import (  # noqa: E402
+    FaultSchedule,
+    run_scenario,
+)
+
+WATCHDOG_SECONDS = 420
+BATCHES = 24
+HAS_FORK = hasattr(os, "fork")
+
+#: (label, shards, durable?, schedule) — every one must reach parity.
+#: Worker kills need forked lanes; those scenarios are skipped (loudly)
+#: on platforms without ``os.fork``.
+SCENARIOS = [
+    (
+        "baseline fault-free",
+        1,
+        False,
+        FaultSchedule(),
+    ),
+    (
+        "torn client, non-durable",
+        1,
+        False,
+        FaultSchedule(drop_client_at=7),
+    ),
+    (
+        "stalled reader + torn client",
+        1,
+        False,
+        FaultSchedule(drop_client_at=4, stalled_reader=True),
+    ),
+    (
+        "server restart-in-place, durable",
+        1,
+        True,
+        FaultSchedule(restart_server_at=11),
+    ),
+    (
+        # The acceptance scenario: SIGKILLed shard worker mid-batch AND
+        # a killed-and-reconnected subscriber, same run.
+        "worker SIGKILL + torn client, durable 3 shards",
+        3,
+        True,
+        FaultSchedule(kill_worker_at=(12, 1), drop_client_at=6),
+    ),
+    (
+        "worker SIGKILL, supervised journal rebuild (non-durable)",
+        2,
+        False,
+        FaultSchedule(kill_worker_at=(9, 0)),
+    ),
+    (
+        "everything at once, durable 2 shards",
+        2,
+        True,
+        FaultSchedule(
+            kill_worker_at=(5, 0),
+            drop_client_at=10,
+            restart_server_at=15,
+            stalled_reader=True,
+        ),
+    ),
+]
+
+
+def _program():
+    return compile_sql(
+        "SELECT A, sum(B) FROM R GROUP BY A",
+        Catalog.from_script("CREATE STREAM R (A int, B int);"),
+        name="q",
+    )
+
+
+def _batches():
+    batches = []
+    for i in range(BATCHES):
+        sign = -1 if i % 5 == 4 else 1
+        rows = [(i % 4, i), ((i + 1) % 4, 2 * i - 10)]
+        batches.append(("R", sign, rows))
+    return batches
+
+
+def _watchdog(signum, frame):  # pragma: no cover - only fires on a hang
+    raise SystemExit(f"chaos smoke wedged (>{WATCHDOG_SECONDS}s); aborting")
+
+
+def main() -> int:
+    if hasattr(signal, "SIGALRM"):
+        signal.signal(signal.SIGALRM, _watchdog)
+        signal.alarm(WATCHDOG_SECONDS)
+    program = _program()
+    batches = _batches()
+    failures = 0
+    for label, shards, durable, schedule in SCENARIOS:
+        needs_fork = shards > 1 and (
+            schedule.kill_worker_at is not None or durable
+        )
+        if needs_fork and not HAS_FORK:
+            print(f"SKIP  {label}: platform lacks os.fork")
+            continue
+        try:
+            if durable:
+                with tempfile.TemporaryDirectory() as oracle_dir, \
+                        tempfile.TemporaryDirectory() as fault_dir:
+                    report = run_scenario(
+                        program, batches, shards=shards, durable=True,
+                        directory=fault_dir, oracle_directory=oracle_dir,
+                        schedule=schedule, seed=2009,
+                    )
+            else:
+                report = run_scenario(
+                    program, batches, shards=shards, durable=False,
+                    schedule=schedule, seed=2009,
+                )
+        except (AssertionError, Exception) as exc:  # noqa: BLE001
+            failures += 1
+            print(f"FAIL  {label}: {exc}")
+            continue
+        print(
+            f"OK    {label}: {report['deltas']} deltas repr-identical, "
+            f"{report['reconnects']} reconnect(s)"
+        )
+    if failures:
+        print(f"{failures} scenario(s) failed")
+        return 1
+    print("chaos smoke: all scenarios in parity")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Randomized fault schedules must never change what subscribers see.
+
+Property (hypothesis): for random event streams, shard counts 1–4,
+durable and non-durable engines, and a random composition of faults —
+SIGKILL a shard worker before batch *k*, tear the subscriber's
+connection after frame *j*, restart the server after batch *n*, attach
+a reader that stalls — the observing subscriber's reassembled delta log
+is repr-identical to a fault-free run of the same configuration, and
+its accumulated rows equal the engine's results.  The heavy lifting
+lives in :mod:`tests.integration.chaos_harness`; fixed-seed scenarios
+for CI run in ``chaos_smoke.py``.
+
+Sockets, forks and reconnect backoff make every example expensive, so
+the example counts are deliberately small; the fault *space* is what
+hypothesis explores.
+"""
+
+import os
+import tempfile
+from functools import lru_cache
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+import pytest
+
+from repro.compiler import compile_sql
+from repro.sql.catalog import Catalog
+from tests.integration.chaos_harness import FaultSchedule, run_scenario
+
+CATALOG_DDL = "CREATE STREAM R (A int, B int);"
+
+HAS_FORK = hasattr(os, "fork")
+
+
+@lru_cache(maxsize=None)
+def _program():
+    return compile_sql(
+        "SELECT A, sum(B) FROM R GROUP BY A",
+        Catalog.from_script(CATALOG_DDL),
+        name="q",
+    )
+
+
+@st.composite
+def _batches(draw):
+    count = draw(st.integers(min_value=4, max_value=10))
+    batches = []
+    for _ in range(count):
+        sign = draw(st.sampled_from([1, 1, 1, -1]))
+        rows = [
+            (draw(st.integers(0, 3)), draw(st.integers(-5, 5)))
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+        batches.append(("R", sign, rows))
+    return batches
+
+
+@st.composite
+def _schedules(draw, n_batches: int, shards: int, durable: bool):
+    schedule = FaultSchedule()
+    if shards > 1 and HAS_FORK and draw(st.booleans()):
+        schedule.kill_worker_at = (
+            draw(st.integers(0, n_batches - 1)),
+            draw(st.integers(0, shards - 1)),
+        )
+    if draw(st.booleans()):
+        schedule.drop_client_at = draw(st.integers(0, n_batches - 1))
+    if durable and draw(st.booleans()):
+        schedule.restart_server_at = draw(st.integers(0, n_batches - 1))
+    schedule.stalled_reader = draw(st.booleans())
+    return schedule
+
+
+@settings(max_examples=6, deadline=None)
+@given(data=st.data())
+def test_random_fault_schedule_preserves_delta_log(data):
+    batches = data.draw(_batches())
+    shards = data.draw(st.integers(min_value=1, max_value=4))
+    if shards > 1 and not HAS_FORK:
+        shards = 1
+    durable = data.draw(st.booleans())
+    schedule = data.draw(
+        _schedules(len(batches), shards, durable)
+    )
+    program = _program()
+    if durable:
+        with tempfile.TemporaryDirectory() as oracle_dir, \
+                tempfile.TemporaryDirectory() as fault_dir:
+            run_scenario(
+                program, batches, shards=shards, durable=True,
+                directory=fault_dir, oracle_directory=oracle_dir,
+                schedule=schedule, seed=7,
+            )
+    else:
+        run_scenario(
+            program, batches, shards=shards, durable=False,
+            schedule=schedule, seed=7,
+        )
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="process lanes require POSIX fork")
+@settings(max_examples=4, deadline=None)
+@given(
+    kill_at=st.integers(min_value=0, max_value=7),
+    drop_at=st.integers(min_value=0, max_value=7),
+    lane=st.integers(min_value=0, max_value=2),
+)
+def test_composed_kill_and_drop_durable(kill_at, drop_at, lane):
+    """The acceptance scenario, randomized: a SIGKILLed shard worker AND
+    a torn subscriber connection in the same run, on a durable engine."""
+    batches = [("R", 1, [(i % 4, i), ((i + 1) % 4, -i)]) for i in range(8)]
+    schedule = FaultSchedule(
+        kill_worker_at=(kill_at, lane), drop_client_at=drop_at
+    )
+    with tempfile.TemporaryDirectory() as oracle_dir, \
+            tempfile.TemporaryDirectory() as fault_dir:
+        run_scenario(
+            _program(), batches, shards=3, durable=True,
+            directory=fault_dir, oracle_directory=oracle_dir,
+            schedule=schedule, seed=11,
+        )

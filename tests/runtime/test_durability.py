@@ -453,3 +453,74 @@ def test_non_strict_engine_still_skips_unknown_relations():
     engine.insert("Nope", 1, 2)
     assert engine.events_skipped == 1
     assert engine.events_processed == 0
+
+
+# ---------------------------------------------------------------------------
+# Resume watermark agreement (oldest_replayable_lsn / ResumeGapError)
+# ---------------------------------------------------------------------------
+
+
+def test_oldest_replayable_lsn_tracks_truncation(tmp_path):
+    with WriteAheadLog(tmp_path, fsync="none", segment_bytes=256) as wal:
+        # A frameless fresh log answers its next LSN (coverage starts
+        # there; nothing has been truncated away).
+        assert wal.oldest_replayable_lsn() == 1
+        _append_n(wal, 30)
+        assert wal.oldest_replayable_lsn() == 1
+        wal.truncate_before(20)
+        oldest = wal.oldest_replayable_lsn()
+        # truncate_before keeps the segment holding watermark+1, so the
+        # oldest replayable frame is at or below the watermark + 1.
+        assert oldest is not None and oldest <= 21
+        # Agreement: replay from oldest-1 works, replay from before the
+        # truncated prefix raises the typed gap error.
+        lsns = [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path, after_lsn=oldest - 1)]
+        assert lsns == list(range(oldest, 31))
+
+
+def test_replay_raises_resume_gap_for_pre_truncation_lsn(tmp_path):
+    from repro.errors import ResumeGapError
+
+    with WriteAheadLog(tmp_path, fsync="none", segment_bytes=256) as wal:
+        _append_n(wal, 30)
+        wal.truncate_before(20)
+        oldest = wal.oldest_replayable_lsn()
+    assert oldest > 2
+    with pytest.raises(ResumeGapError) as info:
+        list(WriteAheadLog.replay(tmp_path, after_lsn=1))
+    assert info.value.requested_lsn == 1
+    assert info.value.oldest_lsn == oldest
+
+
+def test_replay_raises_resume_gap_on_forward_gap(tmp_path):
+    from repro.errors import ResumeGapError
+
+    with WriteAheadLog(tmp_path, fsync="none") as wal:
+        wal.ensure_lsn(10)  # fresh log starting past a snapshot watermark
+        _append_n(wal, 3)
+    # Replay from the watermark is fine (first frame is 11)...
+    assert [lsn for lsn, *_ in WriteAheadLog.replay(tmp_path, after_lsn=10)] == [11, 12, 13]
+    # ...but a reader expecting frames 1..10 must be told they are gone.
+    with pytest.raises(ResumeGapError):
+        list(WriteAheadLog.replay(tmp_path, after_lsn=0))
+
+
+def test_snapshot_load_latest_max_lsn(tmp_path):
+    store = SnapshotStore(tmp_path, keep=10)
+    for lsn in (5, 10, 15):
+        store.save(lsn, {"maps": {}, "marker": lsn})
+    assert store.load_latest()["marker"] == 15
+    assert store.load_latest(max_lsn=12)["marker"] == 10
+    assert store.load_latest(max_lsn=5)["marker"] == 5
+    assert store.load_latest(max_lsn=4) is None
+
+
+def test_durable_engine_oldest_replayable_lsn(tmp_path):
+    engine = DurableEngine(_program(), tmp_path, fsync="none", segment_bytes=256)
+    for i in range(40):
+        engine.process_batch("R", 1, [(i % 4, i)])
+    assert engine.oldest_replayable_lsn() == 1
+    engine.snapshot()  # retires fully covered segments
+    oldest = engine.oldest_replayable_lsn()
+    assert oldest is None or oldest > 1
+    engine.close()

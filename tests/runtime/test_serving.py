@@ -12,6 +12,7 @@ the WAL's).  The cross-engine streaming property lives in
 """
 
 import asyncio
+import os
 from collections import Counter
 
 import pytest
@@ -385,3 +386,376 @@ def test_coalesce_preserves_non_delta_frames_in_order():
         assert frames == [{"type": "pong", "lsn": 1}]
 
     asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Resume-from-LSN (memory ring, WAL shadow replay, resume_gap)
+# ---------------------------------------------------------------------------
+
+
+def _collect(handle, client, until_lsn):
+    frames = client.drain_deltas("q", until_lsn)
+    return frames
+
+
+def test_resume_from_memory_ring_replays_exact_suffix():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            sub.subscribe("q")
+            for i in range(10):
+                handle.publish("R", 1, [(i % 3, i)])
+            deltas = sub.drain_deltas("q", sub.ping())
+            mid = deltas[4]["lsn"]
+            with SubscriberClient(handle.host, handle.port) as resumer:
+                reply = resumer.subscribe("q", from_lsn=mid)
+                assert reply["type"] == "resumed"
+                assert reply["from_lsn"] == mid
+                replayed = [resumer.recv() for _ in range(reply["replayed"])]
+                want = [d for d in deltas if d["lsn"] > mid]
+                assert [(f["lsn"], f["changes"]) for f in replayed] == [
+                    (f["lsn"], f["changes"]) for f in want
+                ]
+                # The resumed subscriber is live: new deltas flow.
+                _, lsn = handle.publish("R", 1, [(0, 100)])
+                live = resumer.drain_deltas("q", lsn)
+                assert live and live[-1]["lsn"] == lsn
+
+
+def test_resume_at_current_lsn_replays_nothing():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        handle.publish("R", 1, [(1, 10)])
+        with SubscriberClient(handle.host, handle.port) as sub:
+            tip = sub.ping()
+            reply = sub.subscribe("q", from_lsn=tip)
+            assert reply["type"] == "resumed"
+            assert reply["replayed"] == 0
+
+
+def test_resume_from_wal_when_history_evicted(tmp_path):
+    engine = DurableEngine(_program(), tmp_path, fsync="none")
+    with ServerThread(engine, history_frames=2) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            sub.subscribe("q")
+            for i in range(20):
+                handle.publish("R", 1, [(i % 4, i)])
+            deltas = sub.drain_deltas("q", sub.ping())
+            early = deltas[2]["lsn"]
+            # Far below the 2-frame ring floor: served from the WAL.
+            assert early < handle.server._history_floor["q"]
+            with SubscriberClient(handle.host, handle.port) as resumer:
+                reply = resumer.subscribe("q", from_lsn=early)
+                assert reply["type"] == "resumed"
+                replayed = [resumer.recv() for _ in range(reply["replayed"])]
+                want = [d for d in deltas if d["lsn"] > early]
+                assert [(f["lsn"], f["changes"]) for f in replayed] == [
+                    (f["lsn"], f["changes"]) for f in want
+                ]
+                assert all(f.get("replayed") for f in replayed)
+    engine.close()
+
+
+def test_resume_gap_on_non_durable_engine():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine, history_frames=2) as handle:
+        for i in range(10):
+            handle.publish("R", 1, [(i, i)])
+        with SubscriberClient(handle.host, handle.port) as sub:
+            reply = sub.subscribe("q", from_lsn=1)
+            assert reply["type"] == "resume_gap"
+            assert reply["requested_lsn"] == 1
+            # A gapped subscriber is NOT registered; the fallback
+            # snapshot-then-stream subscribe works on the same socket.
+            rows = rows_from_snapshot(sub.subscribe("q"))
+            assert rows == Counter(engine.results("q"))
+
+
+def test_resume_gap_after_wal_truncation(tmp_path):
+    engine = DurableEngine(
+        _program(), tmp_path, fsync="none", segment_bytes=256
+    )
+    with ServerThread(engine, history_frames=2) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            sub.subscribe("q")
+            for i in range(30):
+                handle.publish("R", 1, [(i % 4, i)])
+            deltas = sub.drain_deltas("q", sub.ping())
+            early = deltas[2]["lsn"]
+            engine.snapshot()  # retires covered WAL segments
+            assert engine.oldest_replayable_lsn() > early + 1
+            with SubscriberClient(handle.host, handle.port) as resumer:
+                reply = resumer.subscribe("q", from_lsn=early)
+                assert reply["type"] == "resume_gap"
+    engine.close()
+
+
+def test_resume_from_the_future_is_a_gap():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        handle.publish("R", 1, [(1, 10)])
+        with SubscriberClient(handle.host, handle.port) as sub:
+            reply = sub.subscribe("q", from_lsn=999)
+            assert reply["type"] == "resume_gap"
+
+
+def test_resume_rejects_bad_from_lsn():
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        with SubscriberClient(handle.host, handle.port) as sub:
+            sub._send({"op": "subscribe", "view": "q", "from_lsn": "nope"})
+            message = sub.recv()
+            assert message["type"] == "error"
+            assert "from_lsn" in message["message"]
+
+
+def test_server_rejects_bad_resume_options():
+    engine = DeltaEngine(_program())
+    with pytest.raises(ServingError, match="history_frames"):
+        ViewServer(engine, history_frames=-1)
+    with pytest.raises(ServingError, match="idle_timeout"):
+        ViewServer(engine, idle_timeout=0)
+
+
+def test_tap_seeds_lsn_from_engine_clock(tmp_path):
+    engine = DurableEngine(_program(), tmp_path, fsync="none")
+    for i in range(5):
+        engine.process_batch("R", 1, [(i, i)])
+    # A tap over an already-running durable engine starts at the WAL
+    # tip, not 0 — a restarted server keeps serving meaningful LSNs.
+    tap = ViewDeltaTap(engine)
+    assert tap.lsn == engine.lsn > 0
+    engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Idle timeout and torn-frame hardening
+# ---------------------------------------------------------------------------
+
+
+def test_idle_subscriber_evicted_with_timeout_frame():
+    import time as _time
+
+    engine = DeltaEngine(_program())
+    with ServerThread(engine, idle_timeout=0.2) as handle:
+        with SubscriberClient(handle.host, handle.port, timeout=5) as sub:
+            sub.subscribe("q")
+            _time.sleep(0.8)
+            with pytest.raises(ServingError, match="evicted|closed"):
+                # Either the buffered timeout frame raises, or the
+                # closed socket does.
+                sub.ping()
+        assert handle.server.clients_timed_out == 1
+        # An active client (pinging within the window) is never evicted.
+        with SubscriberClient(handle.host, handle.port, timeout=5) as sub:
+            sub.subscribe("q")
+            for _ in range(6):
+                _time.sleep(0.1)
+                sub.ping()
+        assert handle.server.clients_timed_out == 1
+
+
+def test_torn_frame_mid_length_prefix_is_reaped_quietly():
+    import socket as _socket
+    import struct as _struct
+
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        raw = _socket.create_connection((handle.host, handle.port))
+        raw.sendall(b"\x00\x00")  # half a length prefix, then vanish
+        raw.close()
+        raw = _socket.create_connection((handle.host, handle.port))
+        body = b'{"op": "ping"}'
+        raw.sendall(_struct.pack(">I", len(body) + 10) + body)  # torn body
+        raw.close()
+        # The server survives both: a well-behaved client still works.
+        with SubscriberClient(handle.host, handle.port) as sub:
+            sub.subscribe("q")
+            _, lsn = handle.publish("R", 1, [(1, 1)])
+            assert sub.drain_deltas("q", lsn)
+        assert not handle.server._clients or all(
+            not c.dropped for c in handle.server._clients
+        )
+
+
+def test_oversized_length_prefix_gets_error_frame():
+    import socket as _socket
+    import struct as _struct
+
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        raw = _socket.create_connection((handle.host, handle.port))
+        raw.settimeout(5)
+        raw.sendall(_struct.pack(">I", 2**31))  # absurd frame length
+        prefix = raw.recv(4)
+        (length,) = _struct.unpack(">I", prefix)
+        message = decode_frame(raw.recv(length))
+        assert message["type"] == "error"
+        assert "exceeds" in message["message"]
+        raw.close()
+
+
+# ---------------------------------------------------------------------------
+# ReconnectingSubscriber
+# ---------------------------------------------------------------------------
+
+
+def test_reconnecting_subscriber_survives_server_restart(tmp_path):
+    import random as _random
+
+    from repro.runtime.durability import recover_engine
+    from repro.runtime.serving import ReconnectingSubscriber
+
+    program = _program()
+    engine = DurableEngine(program, tmp_path, fsync="none")
+    handle = ServerThread(engine)
+    handle.start()
+    sub = ReconnectingSubscriber(
+        handle.host, handle.port, "q",
+        backoff_base=0.01, rng=_random.Random(7),
+    )
+    try:
+        for i in range(5):
+            handle.publish("R", 1, [(i % 2, i)])
+        sub.pump_until(engine.lsn)
+        handle.stop()
+        engine.close()
+        # Hard restart: recover the directory, rebind the same port.
+        engine2, _ = recover_engine(program, tmp_path), None
+        engine2 = DurableEngine(program, tmp_path, fsync="none")
+        handle2 = ServerThread(engine2, port=handle.port)
+        handle2.start()
+        for i in range(5, 10):
+            handle2.publish("R", 1, [(i % 2, i)])
+        sub.pump_until(engine2.lsn, deadline=30)
+        reference = DeltaEngine(program)
+        for i in range(10):
+            reference.process_batch("R", 1, [(i % 2, i)])
+        assert sub.rows == Counter(reference.results("q"))
+        assert sub.reconnects >= 1
+        assert sub.resume_gaps == 0
+        # Idempotent delivery: strictly increasing LSNs, no synthetics.
+        lsns = [f["lsn"] for f in sub.deltas]
+        assert lsns == sorted(set(lsns))
+        assert not any(f.get("synthesized") for f in sub.deltas)
+        handle2.stop()
+        engine2.close()
+    finally:
+        sub.close()
+
+
+def test_reconnecting_subscriber_resume_gap_fallback(tmp_path):
+    import random as _random
+
+    from repro.runtime.serving import ReconnectingSubscriber
+
+    program = _program()
+    engine = DurableEngine(
+        program, tmp_path, fsync="none", segment_bytes=256
+    )
+    handle = ServerThread(engine, history_frames=2)
+    handle.start()
+    sub = ReconnectingSubscriber(
+        handle.host, handle.port, "q",
+        backoff_base=0.01, rng=_random.Random(1),
+    )
+    try:
+        for i in range(5):
+            handle.publish("R", 1, [(i % 2, i)])
+        sub.pump_until(engine.lsn)
+        handle.stop()
+        # Progress while disconnected, then truncate the missed suffix.
+        for i in range(5, 30):
+            engine.process_batch("R", 1, [(i % 2, i)])
+        engine.snapshot()
+        handle2 = ServerThread(engine, history_frames=2, port=handle.port)
+        handle2.start()
+        sub.pump_until(engine.lsn, deadline=30)
+        reference = DeltaEngine(program)
+        for i in range(30):
+            reference.process_batch("R", 1, [(i % 2, i)])
+        # State parity holds even though the sequence needed a synthetic
+        # bridge (the truncated suffix is unrecoverable by design).
+        assert sub.rows == Counter(reference.results("q"))
+        assert sub.resume_gaps >= 1
+        assert any(f.get("synthesized") for f in sub.deltas)
+        handle2.stop()
+    finally:
+        sub.close()
+        engine.close()
+
+
+def test_reconnecting_subscriber_budget_exhaustion():
+    import random as _random
+
+    from repro.runtime.serving import ReconnectingSubscriber
+
+    engine = DeltaEngine(_program())
+    with ServerThread(engine) as handle:
+        host, port = handle.host, handle.port
+    # Server gone: the initial connect must exhaust the budget and raise.
+    with pytest.raises(ServingError, match="reconnect budget exhausted"):
+        ReconnectingSubscriber(
+            host, port, "q",
+            max_reconnects=2, backoff_base=0.001, rng=_random.Random(3),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Restart-in-place
+# ---------------------------------------------------------------------------
+
+
+def test_restart_in_place_reclaims_port_with_lingering_clients():
+    # Stopping a server must genuinely close its sockets: a new server
+    # can rebind the same port immediately, even though a subscriber
+    # that never read its frames (half-closed connection) is attached.
+    engine = DeltaEngine(_program())
+    handle = ServerThread(engine)
+    handle.start()
+    port = handle.port
+    laggard = SubscriberClient(handle.host, port, timeout=5)
+    laggard.subscribe("q")
+    for i in range(10):
+        handle.publish("R", 1, [(i % 3, i)])
+    handle.stop()
+    try:
+        handle2 = ServerThread(engine, port=port)
+        handle2.start()  # must not raise EADDRINUSE
+        assert handle2.port == port
+        with SubscriberClient(handle2.host, port, timeout=5) as sub:
+            assert sub.subscribe("q")["type"] == "snapshot"
+        handle2.stop()
+    finally:
+        laggard.close()
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork isolation requires POSIX fork"
+)
+def test_forked_children_do_not_inherit_serving_sockets():
+    # A shard worker forked while the server runs (supervisor respawn)
+    # must not keep duplicates of the listen/connection fds: the copies
+    # would hold the port bound after stop() and keep closed client
+    # connections half-alive.
+    import multiprocessing
+
+    engine = DeltaEngine(_program())
+    handle = ServerThread(engine)
+    handle.start()
+    port = handle.port
+    with SubscriberClient(handle.host, port, timeout=5) as sub:
+        sub.subscribe("q")
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=child.send, args=(os.getpid(),), daemon=True)
+        proc.start()
+        parent.recv()
+        # While the child lives, stop and rebind: only possible if the
+        # child closed its inherited serving fds after the fork.
+        handle.stop()
+        handle2 = ServerThread(engine, port=port)
+        handle2.start()
+        assert handle2.port == port
+        handle2.stop()
+        proc.join(timeout=10)

@@ -1,0 +1,196 @@
+"""Units for the shard-worker supervisor (``ShardSupervisor``).
+
+A supervised :class:`~repro.runtime.engine.ShardedEngine` respawns a
+SIGKILLed forked worker and rebuilds its lane state — from the
+coordinator-side checkpoint + journal on a plain engine, from snapshot +
+WAL-suffix replay when wrapped in a
+:class:`~repro.runtime.durability.DurableEngine` — under a
+max-restarts-per-window budget.  These tests pin result parity after a
+kill, both rebuild modes, budget exhaustion, and that worker *errors*
+(as opposed to deaths) still surface loudly.  The randomized
+fault-schedule composition lives in
+``tests/integration/test_chaos_property.py``.
+"""
+
+import os
+import signal
+import time
+from collections import Counter
+
+import pytest
+
+from repro.compiler import compile_sql
+from repro.errors import EventError
+from repro.runtime import DeltaEngine, ShardedEngine, ShardSupervisor
+from repro.runtime.durability import DurableEngine
+from repro.sql.catalog import Catalog
+
+CATALOG_DDL = """
+CREATE STREAM R (A int, B int);
+CREATE STREAM S (B int, C int);
+"""
+
+GROUPED = "SELECT A, sum(B) FROM R GROUP BY A"
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process lanes require POSIX fork"
+)
+
+
+def _program(query=GROUPED):
+    return compile_sql(query, Catalog.from_script(CATALOG_DDL), name="q")
+
+
+def _kill_worker(engine, lane_index: int) -> None:
+    """SIGKILL one forked shard worker and wait for the corpse."""
+    proc = engine._lanes[lane_index]._proc
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=10)
+
+
+def _reference_rows(program, batches):
+    reference = DeltaEngine(program)
+    for relation, sign, rows in batches:
+        reference.process_batch(relation, sign, rows)
+    return Counter(reference.results("q"))
+
+
+def test_supervisor_rejects_bad_options():
+    program = _program()
+    engine = DeltaEngine(program)
+    with pytest.raises(EventError, match="max_restarts"):
+        ShardSupervisor(engine, max_restarts=0)
+    with pytest.raises(EventError, match="window"):
+        ShardSupervisor(engine, window=0)
+    with pytest.raises(EventError, match="checkpoint_every"):
+        ShardSupervisor(engine, checkpoint_every=0)
+
+
+def test_supervise_without_parallel_lanes_is_inert():
+    engine = ShardedEngine(_program(), shards=2, supervise=True)
+    assert engine.supervisor is None  # nothing to supervise in-process
+    engine.process_batch("R", 1, [(1, 10)])
+    assert engine.results("q")
+    engine.close()
+
+
+@needs_fork
+class TestSupervisedLanes:
+    def test_journal_rebuild_parity_after_sigkill(self):
+        program = _program()
+        batches = [("R", 1, [(i % 4, i) for i in range(j, j + 3)])
+                   for j in range(0, 60, 3)]
+        engine = ShardedEngine(
+            program, shards=3, parallel=True,
+            supervise=True, checkpoint_every=8,
+        )
+        assert engine.supervisor is not None
+        assert not engine.supervisor.durable
+        for index, (relation, sign, rows) in enumerate(batches):
+            if index == 12:
+                _kill_worker(engine, 1)
+            engine.process_batch(relation, sign, rows)
+        engine.sync()
+        assert Counter(engine.results("q")) == _reference_rows(program, batches)
+        assert engine.supervisor.restarts == 1
+        (recovery,) = engine.supervisor.recoveries
+        assert recovery["mode"] == "journal"
+        assert recovery["lane"] == 1
+        assert recovery["seconds"] >= 0
+        engine.close()
+
+    def test_durable_rebuild_parity_after_sigkill(self, tmp_path):
+        program = _program()
+        batches = [("R", 1, [(i % 4, i)]) for i in range(40)]
+        engine = DurableEngine(
+            program, tmp_path, fsync="none",
+            shards=3, parallel=True, supervise=True,
+        )
+        supervisor = engine.engine.supervisor
+        assert supervisor is not None and supervisor.durable
+        for index, (relation, sign, rows) in enumerate(batches):
+            if index == 25:
+                _kill_worker(engine.engine, 0)
+            engine.process_batch(relation, sign, rows)
+        engine.sync()
+        assert Counter(engine.results("q")) == _reference_rows(program, batches)
+        assert supervisor.restarts == 1
+        (recovery,) = supervisor.recoveries
+        assert recovery["mode"] == "durable"
+        assert recovery["replayed"] >= 25  # whole-engine WAL replay
+        engine.close()
+
+    def test_kill_every_lane_over_the_run(self):
+        program = _program()
+        engine = ShardedEngine(
+            program, shards=2, parallel=True,
+            supervise=True, max_worker_restarts=4, checkpoint_every=4,
+        )
+        batches = [("R", 1, [(i % 4, i)]) for i in range(30)]
+        for index, (relation, sign, rows) in enumerate(batches):
+            if index in (8, 16):
+                _kill_worker(engine, index % 2)
+            engine.process_batch(relation, sign, rows)
+        engine.sync()
+        assert Counter(engine.results("q")) == _reference_rows(program, batches)
+        assert engine.supervisor.restarts == 2
+        engine.close()
+
+    def test_restart_budget_exhaustion_degrades_loudly(self):
+        engine = ShardedEngine(
+            _program(), shards=2, parallel=True,
+            supervise=True, max_worker_restarts=1, restart_window=60.0,
+        )
+        with pytest.raises(EventError, match="restart budget is exhausted"):
+            for i in range(40):
+                if i in (5, 10, 15, 20):
+                    _kill_worker(engine, 0)
+                    _kill_worker(engine, 1)
+                engine.process_batch("R", 1, [(i % 4, i)])
+                engine.sync()
+        engine.close()
+
+    def test_window_expiry_replenishes_the_budget(self):
+        engine = ShardedEngine(
+            _program(), shards=2, parallel=True,
+            supervise=True, max_worker_restarts=1, restart_window=0.2,
+        )
+        for i in range(2):
+            _kill_worker(engine, 0)
+            engine.process_batch("R", 1, [(0, i)])
+            engine.sync()
+            time.sleep(0.3)  # let the previous restart age out
+        assert engine.supervisor.restarts == 2
+        engine.close()
+
+    def test_worker_errors_still_surface(self):
+        # Supervision covers worker *death*, not trigger failures: a
+        # malformed row must still raise, without a restart.
+        engine = ShardedEngine(
+            _program(), shards=2, parallel=True, supervise=True,
+        )
+        engine.process_batch("R", 1, [(1,)])  # wrong arity
+        with pytest.raises(EventError, match=r"shard worker \d+ failed"):
+            engine.sync()
+        assert engine.supervisor.restarts == 0
+        engine.close()
+
+    def test_restore_state_resets_checkpoints(self):
+        program = _program()
+        engine = ShardedEngine(
+            program, shards=2, parallel=True,
+            supervise=True, checkpoint_every=4,
+        )
+        primer = DeltaEngine(program)
+        primer.process_batch("R", 1, [(1, 10), (2, 20)])
+        engine.restore_state(
+            {name: dict(contents) for name, contents in primer.maps.items()},
+            events_processed=primer.events_processed,
+        )
+        _kill_worker(engine, 0)
+        engine.process_batch("R", 1, [(3, 30)])
+        engine.sync()
+        primer.process_batch("R", 1, [(3, 30)])
+        assert Counter(engine.results("q")) == Counter(primer.results("q"))
+        assert engine.supervisor.restarts == 1
+        engine.close()
