@@ -534,8 +534,58 @@ def _simplify_aggsum(
             var_component[v] = target
 
     live = [sorted(c) for c in components if c]
-    candidates: list[tuple[Expr, frozenset[str], frozenset[str]]] = []
-    for comp in live:
+
+    # A component may *read* a (group) variable that another component
+    # *binds*; emit binders before readers so the spliced sequence is a
+    # valid evaluation order.  Static output claims cannot tell the two
+    # apart: atoms are bind-or-filter, and the body was simplified
+    # assuming its *own* factor order (e.g. a lift folded to a
+    # comparison because an earlier factor bound the variable), so a
+    # component that claims a shared variable as an output may in fact
+    # read it.  The body order is the ground truth — a shared variable
+    # is bound by the component owning the first part that can output
+    # it, and every other component mentioning it is a reader.
+    first_binder: dict[str, int] = {}
+    for idx, part in enumerate(parts):
+        for v in output_vars(part):
+            first_binder.setdefault(v, idx)
+
+    def binds_reads(comp: list[int]) -> tuple[set[str], set[str]]:
+        owned = set(comp)
+        binds = {
+            v
+            for i in comp
+            for v in output_vars(parts[i])
+            if first_binder.get(v) in owned
+        }
+        reads = {v for i in comp for v in used_vars(parts[i])} - binds
+        return binds, reads
+
+    ordered: list[list[int]] = []
+    available = set(bound)
+    pending = [(comp, *binds_reads(comp)) for comp in live]
+    while pending:
+        progressed = False
+        for position, (comp, binds, reads) in enumerate(pending):
+            blocked = any(
+                v not in available
+                and any(v in other[1] for other in pending if other[0] is not comp)
+                for v in reads
+            )
+            if not blocked:
+                ordered.append(comp)
+                available.update(binds)
+                pending.pop(position)
+                progressed = True
+                break
+        if not progressed:
+            # Mutually-reading components: evaluate them as one unit in
+            # the original part order, which the body already validated.
+            ordered.append(sorted(i for comp, _, _ in pending for i in comp))
+            break
+
+    rebuilt: list[Expr] = []
+    for comp in ordered:
         comp_factors = [parts[i] for i in comp]
         inner = mul(*comp_factors)
         # Only *visible* summed outputs force an AggSum wrapper; names that
@@ -547,40 +597,7 @@ def _simplify_aggsum(
             rewritten: Expr = AggSum(comp_group, inner)
         else:
             rewritten = inner
-        candidates.append(
-            (
-                rewritten,
-                frozenset(used_vars(rewritten)),
-                frozenset(output_vars(rewritten)),
-            )
-        )
-
-    # A component may *read* a (group) variable that another component
-    # *binds*; emit binders before readers so the spliced sequence is a
-    # valid evaluation order.
-    rebuilt: list[Expr] = []
-    available = set(bound)
-    pending = list(range(len(candidates)))
-    while pending:
-        progressed = False
-        for position, index in enumerate(pending):
-            expr_c, used_c, outs_c = candidates[index]
-            needed = {
-                v
-                for v in used_c - outs_c
-                if any(
-                    v in candidates[j][2] for j in pending if j != index
-                )
-            }
-            if needed <= available:
-                rebuilt.append(expr_c)
-                available.update(outs_c)
-                pending.pop(position)
-                progressed = True
-                break
-        if not progressed:  # mutual binding: keep remaining order
-            rebuilt.extend(candidates[i][0] for i in pending)
-            break
+        rebuilt.append(rewritten)
 
     # The body's constant coefficient hoists out of the aggregate; when the
     # body was *only* a constant, the whole AggSum collapses to it.

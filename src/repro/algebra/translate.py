@@ -135,15 +135,16 @@ class AggregateSpec:
 
     ``kind`` is ``"sum"`` for invertible aggregates (sum/count and the
     components of avg) whose map directly stores the aggregate value, or
-    ``"min"``/``"max"`` for occurrence-count maps keyed by
-    ``group_vars + (value_var,)`` from which the extreme value is extracted.
+    ``"min"``/``"max"``/``"distinct"`` for occurrence-count maps keyed by
+    ``group_vars + (value_var,)`` from which the extreme value (min/max)
+    or the number of distinct present values (count-distinct) is derived.
     """
 
     name: str
-    kind: str  # "sum" | "min" | "max"
+    kind: str  # "sum" | "min" | "max" | "distinct"
     expr: Expr
     group_vars: tuple[str, ...]
-    value_var: Optional[str] = None  # for min/max: the lifted value variable
+    value_var: Optional[str] = None  # non-sum kinds: the lifted value variable
 
 
 @dataclass
@@ -547,6 +548,29 @@ class _Translator:
                 if isinstance(expr, AggregateCall) and item_name
                 else func.lower()
             )
+            if expr.distinct:
+                # COUNT(DISTINCT x): the same occurrence-map shape as
+                # min/max — keyed (group..., value) → multiplicity — with
+                # the distinct count derived from it (the number of keys
+                # with non-zero multiplicity per group).  Structural map
+                # sharing makes MIN(x)/MAX(x)/COUNT(DISTINCT x) over the
+                # same body maintain one shared occurrence map.
+                value = self._translate_scalar(expr.argument, scope)
+                value_var = self.namer.fresh("dval")
+                occ = AggSum(
+                    gv + (value_var,),
+                    mul(finalize_body_of(finalize), Lift(value_var, value)),
+                )
+                index = add_spec(
+                    AggregateSpec(
+                        name=slot_base,
+                        kind="distinct",
+                        expr=occ,
+                        group_vars=gv,
+                        value_var=value_var,
+                    )
+                )
+                return RSlot(index)
             if func in ("SUM", "COUNT"):
                 if isinstance(expr.argument, Star):
                     value: Expr = ONE
@@ -594,7 +618,10 @@ class _Translator:
                     )
                 )
                 return RSlot(index)
-            raise TranslationError(f"unsupported aggregate {func}")
+            raise TranslationError(
+                f"unsupported aggregate {func}; supported aggregates are "
+                "SUM, COUNT, AVG, MIN, MAX and COUNT(DISTINCT ...)"
+            )
         if isinstance(expr, ColumnRef):
             resolution = self.bound.resolve(expr)
             var = scope.lookup(resolution.binding, resolution.column, resolution.depth)

@@ -45,6 +45,7 @@ from repro.ir.nodes import (
     Clear,
     Compare,
     Const,
+    Finalize,
     FlushBuffer,
     ForEachMap,
     ForEachRow,
@@ -433,7 +434,117 @@ class _PyRenderer:
             for pattern in sorted(self.indexes.get(stmt.target.name, ())):
                 emitter.line(f"{index_name(stmt.target.name, pattern)}.clear()")
             return
+        if isinstance(stmt, Finalize):
+            self._render_finalize(stmt)
+            return
         raise CodegenError(f"cannot render IR statement {stmt!r}")
+
+    def _render_finalize(self, stmt: Finalize) -> None:
+        """Maintain a min/max/distinct auxiliary map from its occurrence
+        source (always plain dicts per the storage plan).
+
+        Without pending deltas the cache is rebuilt from the source.  With
+        them, every pending accumulator — a keyed batch acc (dict) or a
+        pending buffer (list of pairs) — is first summed key-wise into one
+        delta (per-accumulator application would misread the pre-state),
+        then each 0<->nonzero multiplicity crossing updates the cache; an
+        extremum deletion re-derives the group's best, probing the group-
+        prefix secondary index when one exists.
+        """
+        emitter = self.emitter
+        target = map_local(stmt.target.name)
+        source = map_local(stmt.source.name)
+        ga = stmt.group_arity
+        kind = stmt.kind
+        op = "<" if kind == "min" else ">"
+        if not stmt.pending:
+            emitter.line(f"{target}.clear()")
+            emitter.line(f"for __key, __val in {source}.items():")
+            with emitter.block():
+                emitter.line("if __val == 0:")
+                with emitter.block():
+                    emitter.line("continue")
+                emitter.line(f"__g = __key[:{ga}]")
+                if kind == "distinct":
+                    emitter.line(f"{target}[__g] = {target}.get(__g, 0) + 1")
+                else:
+                    emitter.line(f"__v = __key[{ga}]")
+                    emitter.line(f"__cur = {target}.get(__g)")
+                    emitter.line(f"if __cur is None or __v {op} __cur:")
+                    with emitter.block():
+                        emitter.line(f"{target}[__g] = __v")
+            return
+        emitter.line("__fd = {}")
+        for name in stmt.pending:
+            emitter.line(
+                f"for __key, __val in "
+                f"({name}.items() if isinstance({name}, dict) else {name}):"
+            )
+            with emitter.block():
+                emitter.line("__fd[__key] = __fd.get(__key, 0) + __val")
+        emitter.line("for __key, __d in __fd.items():")
+        with emitter.block():
+            emitter.line(f"__post = {source}.get(__key, 0)")
+            emitter.line("if __d == 0 or (__post - __d != 0) == (__post != 0):")
+            with emitter.block():
+                emitter.line("continue")
+            emitter.line(f"__g = __key[:{ga}]")
+            if kind == "distinct":
+                emitter.line("if __post != 0:")
+                with emitter.block():
+                    emitter.line(f"{target}[__g] = {target}.get(__g, 0) + 1")
+                emitter.line("else:")
+                with emitter.block():
+                    emitter.line(f"__n = {target}.get(__g, 0) - 1")
+                    emitter.line("if __n == 0:")
+                    with emitter.block():
+                        emitter.line(f"{target}.pop(__g, None)")
+                    emitter.line("else:")
+                    with emitter.block():
+                        emitter.line(f"{target}[__g] = __n")
+                return
+            emitter.line(f"__v = __key[{ga}]")
+            emitter.line("if __post != 0:")
+            with emitter.block():
+                emitter.line(f"__cur = {target}.get(__g)")
+                emitter.line(f"if __cur is None or __v {op} __cur:")
+                with emitter.block():
+                    emitter.line(f"{target}[__g] = __v")
+            emitter.line(f"elif {target}.get(__g) == __v:")
+            with emitter.block():
+                emitter.line("__best = None")
+                prefix_pattern = tuple(range(ga))
+                if ga and prefix_pattern in self.indexes.get(
+                    stmt.source.name, ()
+                ):
+                    bucket = index_name(stmt.source.name, prefix_pattern)
+                    emitter.line(
+                        f"for __k2, __c2 in {bucket}.get(__g, {{}}).items():"
+                    )
+                    with emitter.block():
+                        emitter.line("if __c2 == 0:")
+                        with emitter.block():
+                            emitter.line("continue")
+                        emitter.line(f"__v2 = __k2[{ga}]")
+                        emitter.line(f"if __best is None or __v2 {op} __best:")
+                        with emitter.block():
+                            emitter.line("__best = __v2")
+                else:
+                    emitter.line(f"for __k2, __c2 in {source}.items():")
+                    with emitter.block():
+                        emitter.line(f"if __c2 == 0 or __k2[:{ga}] != __g:")
+                        with emitter.block():
+                            emitter.line("continue")
+                        emitter.line(f"__v2 = __k2[{ga}]")
+                        emitter.line(f"if __best is None or __v2 {op} __best:")
+                        with emitter.block():
+                            emitter.line("__best = __v2")
+                emitter.line("if __best is None:")
+                with emitter.block():
+                    emitter.line(f"{target}.pop(__g, None)")
+                emitter.line("else:")
+                with emitter.block():
+                    emitter.line(f"{target}[__g] = __best")
 
     def _render_row_loop(self, stmt: ForEachRow) -> None:
         """The columnar batch loop: iterate only the columns the body reads.

@@ -34,6 +34,7 @@ from repro.compiler.materialize import Materializer, MapRegistry
 from repro.compiler.program import (
     CompiledProgram,
     CompileOptions,
+    FinalizeSpec,
     MapDef,
     Statement,
     Trigger,
@@ -73,9 +74,12 @@ def compile_queries(
     registry = MapRegistry(share=options.share_maps)
 
     slot_maps: dict[str, list[str]] = {}
+    # (query, slot index, occurrence map, kind) for non-linear slots;
+    # their auxiliary maps are registered once triggers are final.
+    aux_requests: list[tuple[str, int, str, str]] = []
     for query in queries:
         names: list[str] = []
-        for spec in query.aggregates:
+        for index, spec in enumerate(query.aggregates):
             defn = spec.expr
             if not isinstance(defn, AggSum):
                 raise CompilationError(
@@ -89,6 +93,8 @@ def compile_queries(
                 description=f"{query.name}.{spec.name}",
             )
             names.append(map_def.name)
+            if spec.kind in ("min", "max", "distinct"):
+                aux_requests.append((query.name, index, map_def.name, spec.kind))
         slot_maps[query.name] = names
 
     statements: dict[tuple[str, int], list[Statement]] = defaultdict(list)
@@ -166,9 +172,36 @@ def compile_queries(
     float_relations = frozenset(
         rel for rel, positions in float_columns.items() if positions
     )
+
+    # Non-linear auxiliary maps: one per (occurrence map, kind), shared
+    # across queries.  They carry no delta triggers of their own — the IR
+    # lowering appends a Finalize step to every trigger that writes the
+    # occurrence map, and the engines treat them as ordinary state
+    # (snapshotted, WAL-replayed, merged by rebuild after sharding).
+    maps = dict(registry.maps)
+    finalizers: dict[str, tuple[FinalizeSpec, ...]] = {}
+    slot_aux: dict[str, dict[int, str]] = {}
+    for query_name, slot_index, occ_name, kind in aux_requests:
+        aux_name = f"{occ_name}__{kind}"
+        if aux_name not in maps:
+            occ_def = maps[occ_name]
+            group_arity = len(occ_def.keys) - 1
+            maps[aux_name] = MapDef(
+                name=aux_name,
+                keys=occ_def.keys[:group_arity],
+                defn=occ_def.defn,
+                role="auxiliary",
+                description=f"{kind} cache over {occ_name}",
+                level=occ_def.level,
+            )
+            finalizers[occ_name] = finalizers.get(occ_name, ()) + (
+                FinalizeSpec(aux=aux_name, kind=kind, group_arity=group_arity),
+            )
+        slot_aux.setdefault(query_name, {})[slot_index] = aux_name
+
     return CompiledProgram(
         queries=queries,
-        maps=dict(registry.maps),
+        maps=maps,
         triggers=triggers,
         slot_maps=slot_maps,
         options=options,
@@ -179,6 +212,8 @@ def compile_queries(
             for rel, positions in float_columns.items()
             if positions
         },
+        finalizers=finalizers,
+        slot_aux=slot_aux,
     )
 
 

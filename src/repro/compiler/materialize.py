@@ -162,6 +162,12 @@ class MapRegistry:
         registry = cls(share=share)
         registry.maps = dict(maps)
         for name, map_def in maps.items():
+            if map_def.role == "auxiliary":
+                # Auxiliary extremum/distinct caches borrow their source
+                # occurrence map's defining query with a truncated key
+                # list; canonicalising that pair would register a bogus
+                # sharing entry, and nothing materialises against them.
+                continue
             defn = map_def.defn
             if isinstance(defn, AggSum):
                 canon, _keys = canonicalize(map_def.keys, defn.body)

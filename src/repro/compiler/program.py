@@ -50,7 +50,7 @@ class MapDef:
     name: str
     keys: tuple[str, ...]
     defn: Expr
-    role: str = "derived"  # "root" | "derived" | "occurrence"
+    role: str = "derived"  # "root" | "derived" | "occurrence" | "auxiliary"
     description: str = ""
     #: recursion depth: 0 for roots, parent+1 for maps materialised while
     #: compiling the parent's deltas (the "level" column of Figure 2).
@@ -87,6 +87,27 @@ class Statement:
         inner = ",".join(repr(a) for a in self.args)
         loop = f" (foreach {','.join(self.loop_vars)})" if self.loop_vars else ""
         return f"{self.target}[{inner}] += {self.rhs!r}{loop}"
+
+
+@dataclass(frozen=True)
+class FinalizeSpec:
+    """A non-linear auxiliary map derived from one occurrence map.
+
+    Occurrence maps are keyed ``(group..., value) → multiplicity``; the
+    auxiliary map caches, per group key, the current extreme value
+    (``kind`` ``"min"``/``"max"``) or the number of distinct present
+    values (``"distinct"``).  There is no closed-form delta for these
+    aggregates — after the occurrence map's linear delta is applied, a
+    *finalize* step updates the auxiliary from the changed keys, falling
+    back to re-deriving a group from occurrence state when its current
+    extremum is deleted (the eviction path).  The lowering emits one
+    :class:`repro.ir.nodes.Finalize` statement per spec at the end of
+    every trigger that writes the occurrence map.
+    """
+
+    aux: str  # auxiliary map name
+    kind: str  # "min" | "max" | "distinct"
+    group_arity: int  # group-key prefix width of the occurrence keys
 
 
 @dataclass
@@ -129,6 +150,12 @@ class CompiledProgram:
     #: ``float_relations``): the storage analysis uses it to type variables
     #: bound by base-relation atoms when proving map values always-float.
     float_columns: dict[str, frozenset[int]] = field(default_factory=dict)
+    #: non-linear auxiliary maps: occurrence map name → the FinalizeSpecs
+    #: maintained from it (MIN/MAX extremum caches, DISTINCT counters).
+    finalizers: dict[str, tuple[FinalizeSpec, ...]] = field(default_factory=dict)
+    #: query name → {slot index: auxiliary map name} for min/max/distinct
+    #: slots — the view layer reads these instead of scanning occurrences.
+    slot_aux: dict[str, dict[int, str]] = field(default_factory=dict)
 
     def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
         return self.triggers.get((relation, sign))

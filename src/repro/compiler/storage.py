@@ -440,6 +440,17 @@ def _analyze_storage(program: CompiledProgram) -> StoragePlan:
     decisions: dict[str, MapStorage] = {}
     for name, map_def in program.maps.items():
         arity = map_def.arity
+        if map_def.role == "auxiliary":
+            # Extremum/distinct caches are maintained by Finalize steps
+            # (pop/re-derive writes, column values rather than ring sums):
+            # plain dicts, never native.
+            decisions[name] = MapStorage(
+                name, "dict", "any", arity,
+                "auxiliary extremum/distinct cache (Finalize-maintained)",
+                native=False,
+                native_reason="Finalize-maintained auxiliary cache",
+            )
+            continue
         if arity == 0:
             if name in int_maps:
                 scalar_class = "int"
@@ -469,6 +480,14 @@ def _analyze_storage(program: CompiledProgram) -> StoragePlan:
         native, native_reason = _native_eligibility(
             kind, value_class, arity, key_classes
         )
+        if native and name in program.finalizers:
+            # The C kernel applies updates itself and would bypass the
+            # Finalize step maintaining this map's auxiliary caches —
+            # decline up front rather than eject mid-stream.
+            native = False
+            native_reason = (
+                "feeds a Finalize-maintained auxiliary cache"
+            )
         decisions[name] = MapStorage(
             name, kind, value_class, arity, reason,
             key_classes=key_classes,

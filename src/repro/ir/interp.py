@@ -26,6 +26,7 @@ from repro.ir.nodes import (
     Clear,
     Compare,
     Const,
+    Finalize,
     FlushBuffer,
     ForEachMap,
     ForEachRow,
@@ -234,7 +235,89 @@ def run_stmt(
     if isinstance(stmt, Clear):
         _storage(stmt.target, env, maps).clear()
         return
+    if isinstance(stmt, Finalize):
+        run_finalize(
+            _storage(stmt.target, env, maps),
+            _storage(stmt.source, env, maps),
+            stmt.kind,
+            stmt.group_arity,
+            tuple(env[name] for name in stmt.pending),
+        )
+        return
     raise CodegenError(f"cannot interpret IR statement {stmt!r}")
+
+
+def _group_best(source, kind: str, group: tuple):
+    """Best live value of one group, rescanning the occurrence map."""
+    ga = len(group)
+    best = None
+    for key, count in source.items():
+        if count == 0 or key[:ga] != group:
+            continue
+        value = key[ga]
+        if best is None or (value < best if kind == "min" else value > best):
+            best = value
+    return best
+
+
+def run_finalize(target, source, kind: str, ga: int, pending: tuple) -> None:
+    """Maintain a min/max/distinct auxiliary map from its occurrence map.
+
+    With no ``pending`` deltas the cache is rebuilt from scratch (the
+    restate path, and the sharded-merge path).  Otherwise all pending
+    accumulators are summed key-wise into *one* delta first — per-
+    accumulator application would misread the pre-state when two
+    accumulators touch the same key — and each 0↔nonzero multiplicity
+    crossing updates the cache; an extremum deletion re-derives the
+    group's best from the (post-delta) occurrence entries.
+    """
+    if not pending:
+        target.clear()
+        for key, count in source.items():
+            if count == 0:
+                continue
+            group = key[:ga]
+            if kind == "distinct":
+                target[group] = target.get(group, 0) + 1
+            else:
+                value = key[ga]
+                best = target.get(group)
+                if best is None or (value < best if kind == "min" else value > best):
+                    target[group] = value
+        return
+    delta: dict = {}
+    for buf in pending:
+        pairs = buf.items() if isinstance(buf, dict) else buf
+        for key, value in pairs:
+            delta[key] = delta.get(key, 0) + value
+    for key, change in delta.items():
+        if change == 0:
+            continue
+        post = source.get(key, 0)
+        pre = post - change
+        if (pre != 0) == (post != 0):
+            continue  # no multiplicity crossing: membership unchanged
+        group, value = key[:ga], key[ga]
+        if kind == "distinct":
+            if post != 0:
+                target[group] = target.get(group, 0) + 1
+            else:
+                count = target.get(group, 0) - 1
+                if count == 0:
+                    target.pop(group, None)
+                else:
+                    target[group] = count
+        elif post != 0:
+            best = target.get(group)
+            if best is None or (value < best if kind == "min" else value > best):
+                target[group] = value
+        elif group in target and target[group] == value:
+            # The stored extremum left the group: re-derive or evict.
+            best = _group_best(source, kind, group)
+            if best is None:
+                target.pop(group, None)
+            else:
+                target[group] = best
 
 
 def run_trigger(

@@ -52,6 +52,7 @@ from repro.ir.nodes import (
     Clear,
     Compare,
     Const,
+    Finalize,
     FlushBuffer,
     ForEachMap,
     ForEachRow,
@@ -423,11 +424,55 @@ def lower_statement(
     )
 
 
-def lower_trigger(trigger: Trigger, namer: Optional[_Namer] = None) -> TriggerIR:
+def _finalize_blocks(
+    finalizers: dict,
+    targets,
+    pending_of,
+) -> list[IRStmt]:
+    """One :class:`Finalize` block per (occurrence target, auxiliary spec).
+
+    ``pending_of(occ)`` names the per-batch delta accumulators for the
+    occurrence map — pending buffers (per-event bodies, left intact by the
+    flush) or keyed batch accumulators.  An empty tuple requests a full
+    rebuild of the auxiliary map instead.
+    """
+    blocks: list[IRStmt] = []
+    for occ in targets:
+        for spec in finalizers.get(occ, ()):
+            blocks.append(
+                Block(
+                    comments=(
+                        f"finalize {spec.kind} cache {spec.aux} from {occ}",
+                    ),
+                    targets=(spec.aux,),
+                    stmts=(
+                        Finalize(
+                            target=Slot(spec.aux),
+                            source=Slot(occ),
+                            kind=spec.kind,
+                            group_arity=spec.group_arity,
+                            pending=tuple(pending_of(occ)),
+                        ),
+                    ),
+                    sources=(),
+                )
+            )
+    return blocks
+
+
+def lower_trigger(
+    trigger: Trigger,
+    namer: Optional[_Namer] = None,
+    finalizers: Optional[dict] = None,
+) -> TriggerIR:
     """The per-event trigger body (with two-phase buffering when needed)."""
     namer = namer or _Namer()
-    buffered = needs_buffering(trigger.statements)
+    finalizers = finalizers or {}
     written = sorted({s.target for s in trigger.statements})
+    finalized = [name for name in written if name in finalizers]
+    # Finalized occurrence maps always buffer: the pending buffer doubles
+    # as the Finalize step's delta (the flush reads but keeps it).
+    buffered = needs_buffering(trigger.statements) or bool(finalized)
     body: list[IRStmt] = []
     if buffered:
         body.extend(BufferDecl(pending_buffer(name)) for name in written)
@@ -437,6 +482,11 @@ def lower_trigger(trigger: Trigger, namer: Optional[_Namer] = None) -> TriggerIR
         body.append(lower_statement(statement, trigger.params, sink, namer))
     if buffered:
         body.extend(FlushBuffer(pending_buffer(name), Slot(name)) for name in written)
+    body.extend(
+        _finalize_blocks(
+            finalizers, finalized, lambda occ: (pending_buffer(occ),)
+        )
+    )
     return TriggerIR(
         relation=trigger.relation,
         sign=trigger.sign,
@@ -615,17 +665,23 @@ def _lower_accumulated(
     patterns: dict[str, set[tuple[int, ...]]],
     namer: _Namer,
     sinks: dict[int, str],
+    finalizers: Optional[dict] = None,
 ) -> list[IRStmt]:
     """The accumulate-then-merge row loop over ``statements``.
 
     Statements whose batch delta is worth accumulating get a trigger-local
     accumulator (scalar or keyed) merged into the program map once after
     the loop; the rest apply directly per row.  ``sinks`` receives the
-    chosen sink per statement position (reporting).
+    chosen sink per statement position (reporting).  Statements writing a
+    finalized occurrence map always accumulate — the keyed accumulators
+    double as the appended :class:`Finalize` steps' batch deltas.
     """
+    finalizers = finalizers or {}
     accs: dict[int, str] = {}
     for position, statement in enumerate(statements):
-        if _accumulates(statement, trigger, patterns):
+        if statement.target in finalizers or _accumulates(
+            statement, trigger, patterns
+        ):
             accs[position] = f"__b{position}"
     body: list[IRStmt] = []
     for position, statement in enumerate(statements):
@@ -678,6 +734,15 @@ def _lower_accumulated(
                     sources=(statement,),
                 )
             )
+    pending_accs: dict[str, list[str]] = {}
+    for position, statement in enumerate(statements):
+        if statement.target in finalizers and position in accs:
+            pending_accs.setdefault(statement.target, []).append(accs[position])
+    body.extend(
+        _finalize_blocks(
+            finalizers, sorted(pending_accs), lambda occ: pending_accs[occ]
+        )
+    )
     return body
 
 
@@ -686,6 +751,7 @@ def _lower_second_order(
     plan: SecondOrderPlan,
     patterns: dict[str, set[tuple[int, ...]]],
     namer: _Namer,
+    finalizers: Optional[dict] = None,
 ) -> tuple[tuple[IRStmt, ...], tuple[tuple[str, str], ...]]:
     """The accumulate-then-flush batch body of a second-order plan.
 
@@ -711,6 +777,14 @@ def _lower_second_order(
         for statement in plan.restate[target]:
             sink = _Sink("direct", statement.target, statement.args)
             body.append(lower_statement(statement, (), sink, namer))
+
+    # Restated occurrence maps have no per-batch delta accumulator, so
+    # their auxiliary caches are rebuilt from the post-batch state.
+    finalizers = finalizers or {}
+    finalized = sorted(
+        {s.target for s in trigger.statements if s.target in finalizers}
+    )
+    body.extend(_finalize_blocks(finalizers, finalized, lambda occ: ()))
 
     base_order = {id(s): base_sinks[i] for i, s in enumerate(plan.base)}
     report = tuple(
@@ -744,6 +818,7 @@ def lower_trigger_batch(
     """
     namer = namer or _Namer()
     name = f"{trigger.name}_batch"
+    finalizers = program.finalizers if program is not None else {}
     if not trigger.statements:
         return (
             TriggerIR(trigger.relation, trigger.sign, name, trigger.params, ()),
@@ -756,7 +831,9 @@ def lower_trigger_batch(
     if not independent and second_order and program is not None:
         plan = plan_second_order(trigger, program)
         if plan is not None:
-            body, report = _lower_second_order(trigger, plan, patterns, namer)
+            body, report = _lower_second_order(
+                trigger, plan, patterns, namer, finalizers
+            )
             return (
                 TriggerIR(trigger.relation, trigger.sign, name, trigger.params, body),
                 report,
@@ -765,7 +842,7 @@ def lower_trigger_batch(
     if independent:
         sinks: dict[int, str] = {}
         accumulated = _lower_accumulated(
-            trigger.statements, trigger, patterns, namer, sinks
+            trigger.statements, trigger, patterns, namer, sinks, finalizers
         )
         if any(kind == "accumulator" for kind in sinks.values()):
             report = tuple(
@@ -862,7 +939,7 @@ def lower_program(
     for key, trigger in program.triggers.items():
         namer = _Namer()
         namers[key] = namer
-        triggers[key] = lower_trigger(trigger, namer)
+        triggers[key] = lower_trigger(trigger, namer, program.finalizers)
 
     ir = ProgramIR(maps=maps, triggers=triggers, batch_triggers={}, passes=())
     if wanted:

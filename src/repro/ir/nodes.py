@@ -303,6 +303,36 @@ class Clear(IRStmt):
 
 
 @dataclass(frozen=True, slots=True)
+class Finalize(IRStmt):
+    """Maintain a non-linear auxiliary map from its occurrence source.
+
+    ``source`` is an occurrence map keyed ``(group..., value)`` →
+    multiplicity; ``target`` is the auxiliary map keyed ``(group...)``
+    holding, per group, the current MIN/MAX value (``kind`` ``"min"`` /
+    ``"max"``) or the count of distinct present values (``"distinct"``).
+    ``group_arity`` is the group prefix width of the source keys.
+
+    ``pending`` names the trigger-local deltas just applied to the
+    source this trigger run — two-phase buffers (``[(key, value), ...]``
+    lists) or batch accumulators (``key → value`` dicts); multiple
+    pendings for one source are summed key-wise before processing so a
+    net-zero change across them is seen as no change.  For each net
+    changed key the backend computes the pre-image value and updates the
+    auxiliary incrementally; a delete of the current extremum re-derives
+    the group's value from the source state (the eviction path — there
+    is no closed-form delta).  An **empty** ``pending`` means "rebuild":
+    clear the target and recompute it from a full scan of the source
+    (the second-order restate path, also the shard-merge repair).
+    """
+
+    target: Slot
+    source: Slot
+    kind: str  # "min" | "max" | "distinct"
+    group_arity: int
+    pending: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
 class Block(IRStmt):
     """The lowering of one (or, after fusion, several) compiled statements.
 
@@ -453,7 +483,7 @@ def written_slots(stmts) -> frozenset[Slot]:
     for stmt in walk_stmts(stmts):
         if isinstance(stmt, AddTo):
             out.add(stmt.slot)
-        elif isinstance(stmt, (MergeInto, FlushBuffer, Clear)):
+        elif isinstance(stmt, (MergeInto, FlushBuffer, Clear, Finalize)):
             out.add(stmt.target)
     return frozenset(out)
 
@@ -464,7 +494,7 @@ def read_slots(stmts) -> frozenset[Slot]:
     for stmt in walk_stmts(stmts):
         if isinstance(stmt, ForEachMap):
             out.add(stmt.slot)
-        elif isinstance(stmt, MergeInto):
+        elif isinstance(stmt, (MergeInto, Finalize)):
             out.add(stmt.source)
         for expr in stmt_exprs(stmt):
             out.update(expr_slots(expr))

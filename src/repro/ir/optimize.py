@@ -46,6 +46,7 @@ from repro.ir.nodes import (
     BufferDecl,
     Clear,
     Compare,
+    Finalize,
     FlushBuffer,
     ForEachMap,
     ForEachRow,
@@ -98,7 +99,7 @@ def _applied_writes(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
     for stmt in walk_stmts(stmts):
         if isinstance(stmt, AddTo):
             out.add(stmt.slot)
-        elif isinstance(stmt, (MergeInto, FlushBuffer, Clear)):
+        elif isinstance(stmt, (MergeInto, FlushBuffer, Clear, Finalize)):
             out.add(stmt.target)
     return frozenset(out)
 
@@ -122,7 +123,9 @@ def _destructive_writes(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
     overlap involving one must keep program order.
     """
     return frozenset(
-        stmt.target for stmt in walk_stmts(stmts) if isinstance(stmt, Clear)
+        stmt.target
+        for stmt in walk_stmts(stmts)
+        if isinstance(stmt, (Clear, Finalize))
     )
 
 
@@ -131,7 +134,7 @@ def _reads(stmts: Iterable[IRStmt]) -> frozenset[Slot]:
     for stmt in walk_stmts(stmts):
         if isinstance(stmt, ForEachMap):
             out.add(stmt.slot)
-        elif isinstance(stmt, MergeInto):
+        elif isinstance(stmt, (MergeInto, Finalize)):
             out.add(stmt.source)
         for expr in stmt_exprs(stmt):
             out.update(expr_slots(expr))
@@ -157,6 +160,10 @@ def exact_value_maps(program: CompiledProgram) -> frozenset[str]:
     """
     out: set[str] = set()
     for name, map_def in program.maps.items():
+        if map_def.role == "auxiliary":
+            # Extremum/distinct caches hold column values and distinct
+            # counts, not ring sums; nothing may reorder writes into them.
+            continue
         if relations_in(map_def.defn) & set(program.float_relations):
             continue
         if _value_position_inexact(map_def.defn):
@@ -186,6 +193,13 @@ def dead_map_names(program: CompiledProgram) -> frozenset[str]:
         for statement in trigger.statements:
             read.update(statement.reads())
     roots = {name for names in program.slot_maps.values() for name in names}
+    # Auxiliary caches are read by the result assembly (not by any
+    # statement) and written only by Finalize steps; never dead.
+    roots.update(
+        name
+        for name, map_def in program.maps.items()
+        if map_def.role == "auxiliary"
+    )
     return frozenset(
         name for name in program.maps if name not in read and name not in roots
     )

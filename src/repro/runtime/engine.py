@@ -68,6 +68,7 @@ DEFAULT_BATCH_SIZE = 1024
 _ROW_ROUTE_THRESHOLD = 8
 from repro.runtime.views import query_results, result_rows_to_dicts
 from repro.ir.interp import (
+    run_finalize as _run_finalize,
     run_trigger as _run_trigger,
     run_trigger_batch as _run_trigger_batch,
 )
@@ -1115,6 +1116,16 @@ def _merge_lane_maps(
                     target.pop(key, None)
                 else:
                     target[key] = total
+    # Finalize-maintained auxiliary caches are not additive — a lane's
+    # cache reflects only its local occurrence slice (summing two lanes'
+    # per-group minima would add the values).  Rebuild each cache from
+    # its merged occurrence map instead.
+    for occ_name, specs in program.finalizers.items():
+        for spec in specs:
+            target = merged[spec.aux] = {}
+            _run_finalize(
+                target, merged[occ_name], spec.kind, spec.group_arity, ()
+            )
     return merged
 
 

@@ -6,8 +6,9 @@ A query's result rows are derived from its aggregate-slot maps:
   count is non-zero — exact under deletions);
 * ``sum``/``count`` slots read the map value directly (absent key = 0);
 * ``avg`` items divide their two slots;
-* ``min``/``max`` slots scan their occurrence map (group key + value ->
-  multiplicity) and take the extreme value present.
+* ``min``/``max``/``distinct`` slots read their Finalize-maintained
+  auxiliary cache (``program.slot_aux``); the occurrence-map scan remains
+  as the fallback for programs without one.
 """
 
 from __future__ import annotations
@@ -31,11 +32,20 @@ def query_results(
     query = _find_query(program, query_name)
     slot_names = program.slot_maps[query.name]
     slot_contents = [maps[name] for name in slot_names]
+    aux_slots = program.slot_aux.get(query.name, {})
+    aux_contents = [
+        maps[aux_slots[index]] if index in aux_slots else None
+        for index in range(len(slot_names))
+    ]
 
     if not query.is_grouped:
         slot_values = [
-            _slot_value(spec, contents, group_key=())
-            for spec, contents in zip(query.aggregates, slot_contents)
+            aux.get((), 0)
+            if aux is not None
+            else _slot_value(spec, contents, group_key=())
+            for spec, contents, aux in zip(
+                query.aggregates, slot_contents, aux_contents
+            )
         ]
         row = tuple(
             eval_result(item.result, (), slot_values) for item in query.items
@@ -43,17 +53,23 @@ def query_results(
         return [row]
 
     group_keys = _live_groups(query, slot_contents)
-    minmax_cache = [
-        _extreme_by_group(spec, contents)
-        if spec.kind in ("min", "max")
-        else None
-        for spec, contents in zip(query.aggregates, slot_contents)
+    caches = [
+        aux
+        if aux is not None
+        else (
+            _extreme_by_group(spec, contents)
+            if spec.kind in ("min", "max")
+            else None
+        )
+        for spec, contents, aux in zip(
+            query.aggregates, slot_contents, aux_contents
+        )
     ]
     rows: list[tuple] = []
     for key in sorted(group_keys, key=repr):
         slot_values = []
         for spec, contents, cache in zip(
-            query.aggregates, slot_contents, minmax_cache
+            query.aggregates, slot_contents, caches
         ):
             if cache is not None:
                 slot_values.append(cache.get(key, 0))
@@ -120,11 +136,11 @@ def _live_groups(query: TranslatedQuery, slot_contents: list[Mapping]) -> set:
     if query.count_slot is not None:
         count_map = slot_contents[query.count_slot]
         return {key for key, value in count_map.items() if value != 0}
-    # Without a count slot (only possible when every slot is min/max),
-    # groups come from occurrence-map prefixes.
+    # Without a count slot (only possible when every slot is
+    # min/max/distinct), groups come from occurrence-map prefixes.
     groups: set = set()
     for spec, contents in zip(query.aggregates, slot_contents):
-        if spec.kind in ("min", "max"):
+        if spec.kind in ("min", "max", "distinct"):
             width = len(spec.group_vars)
             groups.update(k[:width] for k, v in contents.items() if v != 0)
         else:

@@ -101,13 +101,19 @@ class Not(SqlExpr):
 
 @dataclass(frozen=True)
 class AggregateCall(SqlExpr):
-    """``sum/count/avg/min/max`` over an expression (or ``*`` for count)."""
+    """``sum/count/avg/min/max`` over an expression (or ``*`` for count).
+
+    ``distinct`` marks ``COUNT(DISTINCT expr)`` — the only aggregate the
+    dialect accepts a DISTINCT qualifier on.
+    """
 
     func: str  # upper-case
     argument: SqlExpr
+    distinct: bool = False
 
     def __repr__(self) -> str:
-        return f"{self.func}({self.argument!r})"
+        inner = f"DISTINCT {self.argument!r}" if self.distinct else repr(self.argument)
+        return f"{self.func}({inner})"
 
 
 @dataclass(frozen=True)
@@ -178,16 +184,18 @@ class SelectItem:
 
 @dataclass(frozen=True)
 class SelectQuery:
-    """A SELECT ... FROM ... [WHERE] [GROUP BY] query."""
+    """A SELECT [DISTINCT] ... FROM ... [WHERE] [GROUP BY] query."""
 
     items: tuple[SelectItem, ...]
     tables: tuple[TableRef, ...]
     where: Optional[SqlExpr] = None
     group_by: tuple[ColumnRef, ...] = ()
+    distinct: bool = False
 
     def __repr__(self) -> str:
+        head = "SELECT DISTINCT " if self.distinct else "SELECT "
         parts = [
-            "SELECT " + ", ".join(repr(i) for i in self.items),
+            head + ", ".join(repr(i) for i in self.items),
             "FROM " + ", ".join(repr(t) for t in self.tables),
         ]
         if self.where is not None:

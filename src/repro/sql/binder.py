@@ -15,7 +15,7 @@ uses structural equality; the translator walks the same node objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import BindError
@@ -102,6 +102,8 @@ class _Binder:
         self.relations_used: set[str] = set()
 
     def bind(self, query: SelectQuery, parent: Optional[_Scope]) -> BoundQuery:
+        if query.distinct:
+            query = self._desugar_distinct(query)
         scope = self._build_scope(query, parent)
 
         if query.where is not None:
@@ -145,7 +147,7 @@ class _Binder:
                 )
             )
 
-        if not any(info.is_aggregate for info in item_info):
+        if not any(info.is_aggregate for info in item_info) and not query.distinct:
             raise BindError(
                 "standing queries must compute at least one aggregate "
                 "(the paper's data model maintains aggregate views)"
@@ -159,6 +161,32 @@ class _Binder:
             group_names=group_names,
             relations_used=set(self.relations_used),
         )
+
+    def _desugar_distinct(self, query: SelectQuery) -> SelectQuery:
+        """Rewrite ``SELECT DISTINCT cols`` as ``GROUP BY`` over them.
+
+        Group existence comes from the translator's hidden row-count
+        slot, so the grouped plan renders exactly the distinct rows
+        (exactly under deletions).  The same ColumnRef node objects serve
+        as both select items and group keys — resolutions are keyed by
+        node identity, so each resolves once.
+        """
+        if any(_collect_aggregates(item.expr) for item in query.items):
+            raise BindError(
+                "SELECT DISTINCT cannot be combined with aggregate select "
+                "items; use GROUP BY (or COUNT(DISTINCT ...)) instead"
+            )
+        if query.group_by:
+            raise BindError("SELECT DISTINCT cannot be combined with GROUP BY")
+        columns = []
+        for item in query.items:
+            if not isinstance(item.expr, ColumnRef):
+                raise BindError(
+                    "SELECT DISTINCT items must be plain columns, got "
+                    f"{item.expr!r}"
+                )
+            columns.append(item.expr)
+        return replace(query, group_by=tuple(columns))
 
     # -- scopes ---------------------------------------------------------
 

@@ -29,6 +29,9 @@ from repro.sql.lexer import tokenize
 from repro.sql.tokens import Token, TokenType
 
 _AGG_FUNCS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+#: The user-facing supported-aggregate list quoted by every unsupported-
+#: aggregate error (satisfying "name the aggregate, list the set").
+_SUPPORTED_AGGS = "SUM, COUNT, AVG, MIN, MAX and COUNT(DISTINCT ...)"
 _TYPE_KEYWORDS = (
     "INT",
     "INTEGER",
@@ -160,6 +163,7 @@ class _Parser:
 
     def select_query(self) -> SelectQuery:
         self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
         items = [self.select_item()]
         while self._current.type is TokenType.COMMA:
             self._advance()
@@ -207,6 +211,7 @@ class _Parser:
             tables=tuple(tables),
             where=where,
             group_by=tuple(group_by),
+            distinct=distinct,
         )
 
     def select_item(self) -> SelectItem:
@@ -347,6 +352,7 @@ class _Parser:
         if token.is_keyword(*_AGG_FUNCS):
             func = str(self._advance().value)
             self._expect(TokenType.LPAREN, "'('")
+            distinct = False
             if (
                 self._current.type is TokenType.OPERATOR
                 and self._current.value == "*"
@@ -355,10 +361,16 @@ class _Parser:
                 argument: SqlExpr = Star()
             else:
                 if self._current.is_keyword("DISTINCT"):
-                    raise self._error("DISTINCT aggregates are not supported")
+                    if func != "COUNT":
+                        raise self._error(
+                            f"unsupported aggregate {func}(DISTINCT ...); "
+                            f"supported aggregates are {_SUPPORTED_AGGS}"
+                        )
+                    self._advance()
+                    distinct = True
                 argument = self.expression()
             self._expect(TokenType.RPAREN, "')'")
-            return AggregateCall(func=func, argument=argument)
+            return AggregateCall(func=func, argument=argument, distinct=distinct)
 
         if token.type is TokenType.LPAREN:
             self._advance()
@@ -371,6 +383,15 @@ class _Parser:
             return inner
 
         if token.type is TokenType.IDENTIFIER:
+            # Reject unknown function calls here, where the name is still
+            # in hand — letting `f(x)` parse as a column reference used to
+            # surface much later as a confusing translation error.
+            if self._peek(1).type is TokenType.LPAREN:
+                raise self._error(
+                    f"unsupported aggregate or function "
+                    f"{str(token.value).upper()}(...); supported aggregates "
+                    f"are {_SUPPORTED_AGGS}"
+                )
             return self.column_ref()
 
         raise self._error("expected an expression")

@@ -15,7 +15,13 @@ Queries follow the DBToaster finance benchmark family:
   product of the books (maps keep this O(1) per event; any engine that
   joins explicitly pays O(n) or worse);
 * **mst** (MissedTrades) — volume of bids that cross the book (a correlated
-  EXISTS against the ask side).
+  EXISTS against the ask side);
+* **bbo** (BestBidOffer) — per-broker best bid and worst offer (non-linear
+  MIN/MAX aggregates, maintained through the Finalize auxiliary caches
+  with re-derivation on extremum deletes);
+* **act** (ActiveBrokers) — how many distinct brokers currently quote each
+  price level on the bid side (COUNT(DISTINCT ...), a 0<->nonzero
+  multiplicity-crossing aggregate).
 """
 
 from __future__ import annotations
@@ -47,7 +53,20 @@ FINANCE_QUERIES: dict[str, str] = {
         "SELECT sum(b.volume) FROM bids b WHERE EXISTS "
         "(SELECT a.id FROM asks a WHERE a.price <= b.price)"
     ),
+    "bbo": (
+        "SELECT b.broker_id, max(b.price), min(a.price) "
+        "FROM bids b, asks a WHERE b.broker_id = a.broker_id "
+        "GROUP BY b.broker_id"
+    ),
+    "act": (
+        "SELECT b.price, count(DISTINCT b.broker_id) FROM bids b "
+        "GROUP BY b.price"
+    ),
 }
+
+#: The non-linear members (MIN/MAX and DISTINCT aggregates): maintained
+#: through Finalize auxiliary caches rather than closed-form ring deltas.
+NONLINEAR_FINANCE = ("bbo", "act")
 
 #: Queries expressible by the stream-operator baseline (no nesting).
 STREAMABLE_FINANCE = ("axf", "bsp", "psp")

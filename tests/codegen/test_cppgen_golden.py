@@ -17,9 +17,19 @@ import pytest
 
 from repro.codegen.cppgen import generate_cpp
 from repro.compiler import compile_sql
-from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+from repro.errors import CodegenError
+from repro.workloads.finance import (
+    FINANCE_QUERIES,
+    NONLINEAR_FINANCE,
+    finance_catalog,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# The C++ sketch deliberately declines the non-linear queries (their
+# Finalize-maintained auxiliary caches have no C++ rendering); the decline
+# itself is pinned below instead of a golden.
+LINEAR_FINANCE = sorted(set(FINANCE_QUERIES) - set(NONLINEAR_FINANCE))
 
 
 def _render(name: str) -> str:
@@ -27,7 +37,7 @@ def _render(name: str) -> str:
     return generate_cpp(program)
 
 
-@pytest.mark.parametrize("name", sorted(FINANCE_QUERIES))
+@pytest.mark.parametrize("name", LINEAR_FINANCE)
 def test_cpp_matches_golden(name):
     golden = (GOLDEN_DIR / f"{name}.cpp").read_text()
     rendered = _render(name)
@@ -37,7 +47,7 @@ def test_cpp_matches_golden(name):
     )
 
 
-@pytest.mark.parametrize("name", sorted(FINANCE_QUERIES))
+@pytest.mark.parametrize("name", LINEAR_FINANCE)
 def test_cpp_semantic_shape(name):
     """Faithfulness invariants, independent of the exact golden text."""
     rendered = _render(name)
@@ -55,9 +65,17 @@ def test_vwap_shows_ir_optimisations():
     assert rendered.count("auto __h1 =") == 2
 
 
+@pytest.mark.parametrize("name", sorted(NONLINEAR_FINANCE))
+def test_cpp_declines_nonlinear_queries(name):
+    """MIN/MAX/DISTINCT queries fail up front with a pointed message,
+    never part-way through emission."""
+    with pytest.raises(CodegenError, match="non-linear"):
+        _render(name)
+
+
 def main() -> None:
     GOLDEN_DIR.mkdir(exist_ok=True)
-    for name in sorted(FINANCE_QUERIES):
+    for name in LINEAR_FINANCE:
         (GOLDEN_DIR / f"{name}.cpp").write_text(_render(name))
         print(f"regenerated golden/{name}.cpp")
 

@@ -85,7 +85,9 @@ def _drive_both(program, stream_events, batch_sizes=(1, 13, 1000, None)):
         assert batched.results() == reference.results()
 
 
-@pytest.mark.parametrize("query_name", ["vwap", "axf", "bsp", "psp", "mst"])
+@pytest.mark.parametrize(
+    "query_name", ["vwap", "axf", "bsp", "psp", "mst", "bbo", "act"]
+)
 def test_finance_workload_bit_identical(query_name):
     from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
     from repro.workloads.orderbook import OrderBookGenerator

@@ -44,6 +44,11 @@ QUERIES = {
         "SELECT r.B, sum(r.A * s.C) FROM R r, S s "
         "WHERE r.B = s.B GROUP BY r.B"
     ),
+    # Non-linear aggregates: streamed deltas must track the
+    # Finalize-maintained auxiliary caches (extremum re-derivation
+    # retracts one row and asserts another).
+    "minmax": "SELECT A, min(B), max(B) FROM R GROUP BY A",
+    "distinct": "SELECT A, count(DISTINCT B) FROM R GROUP BY A",
 }
 
 

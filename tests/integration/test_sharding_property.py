@@ -75,7 +75,9 @@ def test_sharded_equals_single_engine(query_name, mode, stream, shards, batch_si
     assert sharded.events_skipped == reference.events_skipped
 
 
-@pytest.mark.parametrize("query_name", ["vwap", "axf", "bsp", "psp", "mst"])
+@pytest.mark.parametrize(
+    "query_name", ["vwap", "axf", "bsp", "psp", "mst", "bbo", "act"]
+)
 @pytest.mark.parametrize("shards", [2, 4])
 def test_finance_workload_sharded_identical(query_name, shards):
     from repro.workloads.finance import FINANCE_QUERIES, finance_catalog

@@ -1,0 +1,345 @@
+"""Differential testing against sqlite3 (see ``sql_oracle.py``).
+
+The non-linear aggregates (MIN/MAX, DISTINCT, COUNT(DISTINCT ...)) are
+the focus: their auxiliary caches are maintained by Finalize statements
+with a re-derivation path on extremum deletes, which no linear parity
+suite exercises.  The harness replays identical random insert/delete
+streams — biased towards deleting the current extremum — into the
+engines and an in-memory sqlite3 database, asserting repr-normalised
+result parity at every batch boundary, across:
+
+* compiled and interpreted engines, batch sizes 1-100 (hypothesis);
+* sharded engines with 1-4 lanes;
+* the bundled non-linear finance workloads (``bbo``, ``act``) and the
+  existing linear query shapes (sum/count/avg, joins, nesting);
+* the native backend's forced-off and declined configurations;
+* a SIGKILL crash / recover cycle of a durable engine.
+"""
+
+import os
+import signal
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import compile_sql
+from repro.runtime import DeltaEngine, ShardedEngine, StreamEvent
+from repro.sql.catalog import Catalog
+from tests.integration.sql_oracle import (
+    SqliteOracle,
+    assert_rows_match,
+    normalize_rows,
+    oracle_stream,
+    run_differential,
+)
+
+CATALOG_DDL = """
+CREATE STREAM bids (broker_id int, price int, volume int);
+CREATE STREAM asks (broker_id int, price int, volume int);
+"""
+
+NONLINEAR_QUERIES = {
+    "minmax_grouped": (
+        "SELECT broker_id, min(price), max(price) FROM bids "
+        "GROUP BY broker_id"
+    ),
+    "scalar_extrema": (
+        "SELECT min(price), max(price), count(DISTINCT broker_id) FROM bids"
+    ),
+    "count_distinct_grouped": (
+        "SELECT price, count(DISTINCT broker_id) FROM bids GROUP BY price"
+    ),
+    "select_distinct": "SELECT DISTINCT broker_id, price FROM bids",
+    "join_minmax": (
+        "SELECT b.broker_id, max(b.price), min(a.price) "
+        "FROM bids b, asks a WHERE b.broker_id = a.broker_id "
+        "GROUP BY b.broker_id"
+    ),
+    "mixed": (
+        "SELECT broker_id, sum(volume), max(price), count(DISTINCT price) "
+        "FROM bids GROUP BY broker_id"
+    ),
+}
+
+LINEAR_QUERIES = {
+    "grouped_sum": (
+        "SELECT broker_id, sum(price * volume), count(*) FROM bids "
+        "GROUP BY broker_id"
+    ),
+    "avg": "SELECT broker_id, avg(price) FROM bids GROUP BY broker_id",
+    "join_sum": (
+        "SELECT b.broker_id, sum(a.price * a.volume) - "
+        "sum(b.price * b.volume) FROM bids b, asks a "
+        "WHERE b.broker_id = a.broker_id GROUP BY b.broker_id"
+    ),
+    "vwap_nested": (
+        "SELECT sum(b.price * b.volume) FROM bids b "
+        "WHERE b.volume > 0.25 * (SELECT sum(b1.volume) FROM bids b1)"
+    ),
+    "exists_correlated": (
+        "SELECT sum(b.volume) FROM bids b WHERE EXISTS "
+        "(SELECT a.broker_id FROM asks a WHERE a.broker_id = b.broker_id)"
+    ),
+}
+
+ALL_QUERIES = {**NONLINEAR_QUERIES, **LINEAR_QUERIES}
+
+
+@lru_cache(maxsize=None)
+def _catalog() -> Catalog:
+    return Catalog.from_script(CATALOG_DDL)
+
+
+@lru_cache(maxsize=None)
+def _program(query_name: str):
+    return compile_sql(ALL_QUERIES[query_name], _catalog(), name="q")
+
+
+def _events(query_name: str, steps: int, seed: int):
+    """A live-delete stream over the query's relations, attacking the
+    price column's extrema (index 1 in both schemas)."""
+    program = _program(query_name)
+    catalog = _catalog()
+    relations = {
+        rel: catalog.get(rel).arity
+        for rel in sorted({rel for rel, _ in program.triggers})
+    }
+    return oracle_stream(
+        relations, steps, seed, domain=6,
+        attack={rel: 1 for rel in relations},
+    )
+
+
+def _oracle(query_name: str) -> SqliteOracle:
+    return SqliteOracle(_catalog(), ALL_QUERIES[query_name])
+
+
+# ---------------------------------------------------------------------------
+# Randomised streams (hypothesis): the bulk of the ≥200-stream budget
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("query_name", sorted(NONLINEAR_QUERIES))
+@pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+@settings(max_examples=18, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**9),
+    batch_size=st.integers(min_value=1, max_value=100),
+)
+def test_nonlinear_matches_sqlite(query_name, mode, seed, batch_size):
+    engine = DeltaEngine(_program(query_name), mode=mode)
+    run_differential(
+        engine, _oracle(query_name), _events(query_name, 110, seed),
+        batch_size=batch_size,
+    )
+
+
+@pytest.mark.parametrize("query_name", sorted(LINEAR_QUERIES))
+@pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**9),
+    batch_size=st.integers(min_value=1, max_value=100),
+)
+def test_linear_matches_sqlite(query_name, mode, seed, batch_size):
+    """The oracle is not non-linear-only: the linear surface runs too."""
+    engine = DeltaEngine(_program(query_name), mode=mode)
+    run_differential(
+        engine, _oracle(query_name), _events(query_name, 110, seed),
+        batch_size=batch_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic legs: sharding, extremum eviction, finance workloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "query_name", ["join_minmax", "count_distinct_grouped", "minmax_grouped"]
+)
+@pytest.mark.parametrize("shards", [1, 2, 3, 4])
+def test_sharded_matches_sqlite(query_name, shards):
+    """Lane-merged auxiliary caches (rebuilt from merged occurrence maps,
+    never summed) must equal sqlite at every boundary."""
+    for seed in (3, 44):
+        with ShardedEngine(_program(query_name), shards=shards) as engine:
+            run_differential(
+                engine, _oracle(query_name), _events(query_name, 140, seed),
+                batch_size=13,
+            )
+
+
+@pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+def test_extremum_delete_rederivation(mode):
+    """Deleting the stored extremum forces a re-derive from the occurrence
+    map — checked per event on an adversarial insert/delete sequence."""
+    engine = DeltaEngine(_program("minmax_grouped"), mode=mode)
+    oracle = _oracle("minmax_grouped")
+    events = []
+    for price in range(12):  # ascending: every insert moves the max
+        events.append(StreamEvent("bids", 1, (1, price, 1)))
+    for price in range(11, -1, -1):  # delete max first, then next...
+        events.append(StreamEvent("bids", -1, (1, price, 1)))
+    for price in (5, 5, 3, 9):  # duplicates: eviction with a tie survivor
+        events.append(StreamEvent("bids", 1, (2, price, 1)))
+    events.append(StreamEvent("bids", -1, (2, 9, 1)))  # unique max dies
+    events.append(StreamEvent("bids", -1, (2, 5, 1)))  # tied copy remains
+    events.append(StreamEvent("bids", -1, (2, 3, 1)))  # min re-derives to 5
+    run_differential(engine, oracle, events, batch_size=1)
+
+
+@pytest.mark.parametrize("query_name", ["bbo", "act"])
+@pytest.mark.parametrize("mode,batch_size", [
+    ("compiled", 1), ("compiled", 64), ("interpreted", 23),
+])
+def test_finance_nonlinear_matches_sqlite(query_name, mode, batch_size):
+    """The bundled non-linear finance workloads against real book traffic."""
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    catalog = finance_catalog()
+    program = compile_sql(FINANCE_QUERIES[query_name], catalog, name="q")
+    engine = DeltaEngine(program, mode=mode)
+    oracle = SqliteOracle(catalog, FINANCE_QUERIES[query_name])
+    events = list(OrderBookGenerator(seed=2009).events(400))
+    run_differential(engine, oracle, events, batch_size=batch_size)
+
+
+# ---------------------------------------------------------------------------
+# Native backend: declined plans and the forced-off configuration
+# ---------------------------------------------------------------------------
+
+
+def test_native_plan_excludes_nonlinear_maps():
+    """Eligibility is decided in the storage plan, up front: occurrence
+    maps that feed Finalize and the auxiliary caches themselves never
+    reach the C kernel."""
+    from repro.compiler.storage import analyze_storage
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+    for query_name in ("bbo", "act"):
+        program = compile_sql(
+            FINANCE_QUERIES[query_name], finance_catalog(), name="q"
+        )
+        plan = analyze_storage(program)
+        assert program.finalizers, query_name
+        native = set(plan.native_maps)
+        for occ_name, specs in program.finalizers.items():
+            storage = plan.storage_for(occ_name)
+            assert occ_name not in native
+            # Declined with a stated reason (the Finalize gate when
+            # nothing else disqualified the map first).
+            assert not storage.native and storage.native_reason
+            for spec in specs:
+                aux = plan.storage_for(spec.aux)
+                assert spec.aux not in native
+                assert aux.kind == "dict" and not aux.native
+                assert "auxiliary" in (aux.reason or "")
+
+
+@pytest.mark.parametrize("query_name", ["bbo", "act"])
+def test_native_mode_declines_cleanly(query_name):
+    """mode='native' on a non-linear program: the kernel may own the
+    linear maps, but the Finalize-fed occurrence maps and auxiliary
+    caches stay python-side (pinned by the storage-plan test above) — so
+    the run completes with sqlite parity instead of ejecting mid-stream."""
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    catalog = finance_catalog()
+    program = compile_sql(FINANCE_QUERIES[query_name], catalog, name="q")
+    engine = DeltaEngine(program, mode="native")
+    oracle = SqliteOracle(catalog, FINANCE_QUERIES[query_name])
+    run_differential(
+        engine, oracle, list(OrderBookGenerator(seed=7).events(150)),
+        batch_size=16,
+    )
+
+
+@pytest.mark.parametrize("query_name", ["bbo", "act"])
+def test_forced_native_off_parity(query_name):
+    """The REPRO_NATIVE=off lane (CI's forced fallback) on the new
+    workloads: pure-python storage, same sqlite parity."""
+    from repro.codegen.native import probe_toolchain
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    saved = os.environ.get("REPRO_NATIVE")
+    os.environ["REPRO_NATIVE"] = "off"
+    try:
+        probe_toolchain(refresh=True)
+        catalog = finance_catalog()
+        program = compile_sql(FINANCE_QUERIES[query_name], catalog, name="q")
+        engine = DeltaEngine(program, mode="compiled")
+        assert not engine.native_active
+        oracle = SqliteOracle(catalog, FINANCE_QUERIES[query_name])
+        run_differential(
+            engine, oracle, list(OrderBookGenerator(seed=11).events(150)),
+            batch_size=9,
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NATIVE", None)
+        else:
+            os.environ["REPRO_NATIVE"] = saved
+        probe_toolchain(refresh=True)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: SIGKILL a durable engine mid-stream, recover, compare
+# ---------------------------------------------------------------------------
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "runtime"))
+from fault_injection import (  # noqa: E402
+    assert_recovery_parity,
+    build_program,
+    run_to_crash,
+    stream_events,
+)
+
+
+@pytest.mark.parametrize("workload,label,hits,snapshot_every", [
+    ("bbo", "engine.after_append", 7, None),
+    ("act", "engine.after_apply", 9, 4),
+])
+def test_sigkill_recover_matches_sqlite(
+    tmp_path, workload, label, hits, snapshot_every
+):
+    """An actual SIGKILL mid-stream: the recovered auxiliary caches (and
+    everything else) must equal both the fresh-engine reference and the
+    sqlite oracle replaying the recovered LSN's prefix."""
+    from repro.runtime.durability import recover_engine
+    from repro.runtime.events import batches
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+
+    n_events, seed, batch_size = 400, 2009, 16
+    code = run_to_crash(
+        tmp_path, label, hits, workload=workload, n_events=n_events,
+        seed=seed, batch_size=batch_size, snapshot_every=snapshot_every,
+    )
+    assert code == -signal.SIGKILL
+    program = build_program(workload)
+    engine, lsn = recover_engine(program, tmp_path)
+    assert lsn > 0
+    assert_recovery_parity(engine, lsn, workload, n_events, seed, batch_size)
+
+    oracle = SqliteOracle(finance_catalog(), FINANCE_QUERIES[workload])
+    for index, batch in enumerate(
+        batches(stream_events(workload, n_events, seed), batch_size)
+    ):
+        if index >= lsn:
+            break
+        oracle.apply_all(
+            StreamEvent(batch.relation, batch.sign, tuple(row))
+            for row in batch.rows
+        )
+    assert_rows_match(engine, oracle, "q", context=f" at recovered LSN {lsn}")
+
+
+def test_normalize_rows_canonicalises():
+    assert normalize_rows([(None, 2.0, 2.5, "x")]) == [(0, 2, 2.5, "x")]

@@ -59,11 +59,18 @@ CRASH_LABELS = (
 
 @lru_cache(maxsize=None)
 def build_program(workload: str):
-    """The compiled program of one harness workload."""
-    if workload == "finance":
+    """The compiled program of one harness workload.
+
+    ``finance`` is the vwap query; ``bbo``/``act`` are the non-linear
+    finance members (MIN/MAX and COUNT(DISTINCT) through Finalize-
+    maintained auxiliary caches) — crashes there must recover the caches
+    along with the ring state.
+    """
+    if workload in ("finance", "bbo", "act"):
         from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
 
-        return compile_sql(FINANCE_QUERIES["vwap"], finance_catalog(), name="q")
+        query = "vwap" if workload == "finance" else workload
+        return compile_sql(FINANCE_QUERIES[query], finance_catalog(), name="q")
     if workload == "warehouse":
         from repro.workloads.ssb import SSB_Q41_COMBINED, ssb_catalog
 
@@ -73,7 +80,7 @@ def build_program(workload: str):
 
 def stream_events(workload: str, n_events: int, seed: int) -> list:
     """A deterministic event stream (same bytes in parent and child)."""
-    if workload == "finance":
+    if workload in ("finance", "bbo", "act"):
         from repro.workloads.orderbook import OrderBookGenerator
 
         return list(OrderBookGenerator(seed=seed).events(n_events))

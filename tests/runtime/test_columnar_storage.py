@@ -459,6 +459,28 @@ def test_finance_workloads_columnar_identical(query_name, mode):
     assert maps_seen[0] == maps_seen[1]
 
 
+@pytest.mark.parametrize("query_name", ["bbo", "act"])
+@pytest.mark.parametrize("mode", ["compiled", "interpreted", "native"])
+def test_nonlinear_finance_columnar_identical(query_name, mode):
+    """The non-linear workloads: Finalize-maintained auxiliary caches are
+    plain dicts in every plan, but the occurrence maps they read may be
+    columnar — parity must hold either way (native mode keeps the
+    Finalize-fed maps python-side and still runs)."""
+    from repro.workloads.finance import FINANCE_QUERIES, finance_catalog
+    from repro.workloads.orderbook import OrderBookGenerator
+
+    stream = list(OrderBookGenerator(seed=2009).events(600))
+    maps_seen = []
+    for columnar in (False, True):
+        program = compile_sql(
+            FINANCE_QUERIES[query_name], finance_catalog(), name="q"
+        )
+        engine = DeltaEngine(program, mode=mode, columnar=columnar)
+        engine.process_stream(stream, batch_size=37)
+        maps_seen.append(_exact_items(engine.maps))
+    assert maps_seen[0] == maps_seen[1]
+
+
 def test_float_stream_parity_bit_identical():
     """Float-valued maps: packed 'd' columns must not disturb a single bit."""
     catalog = Catalog.from_script("CREATE STREAM R (A int, P float);")

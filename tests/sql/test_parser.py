@@ -63,9 +63,27 @@ class TestSelectBasics:
         with pytest.raises(ParseError):
             parse_query("SELECT sum(a) FROM R GROUP BY b HAVING sum(a) > 1")
 
-    def test_distinct_aggregate_rejected(self):
-        with pytest.raises(ParseError):
-            parse_query("SELECT count(DISTINCT a) FROM R")
+    def test_count_distinct_parses(self):
+        query = parse_query("SELECT count(DISTINCT a) FROM R")
+        agg = query.items[0].expr
+        assert agg.func == "COUNT" and agg.distinct
+
+    @pytest.mark.parametrize("func", ["sum", "avg", "min", "max"])
+    def test_non_count_distinct_aggregate_rejected(self, func):
+        """DISTINCT is only incrementalised under COUNT; every other
+        spelling fails at parse time, naming the aggregate and the
+        supported set."""
+        with pytest.raises(ParseError, match="supported aggregates") as exc:
+            parse_query(f"SELECT {func}(DISTINCT a) FROM R")
+        assert f"{func.upper()}(DISTINCT" in str(exc.value)
+
+    @pytest.mark.parametrize("func", ["median", "stddev", "variance", "mode"])
+    def test_unknown_aggregate_rejected_early(self, func):
+        """Unknown function calls die in the parser — one pointed error,
+        not a late translation failure on a misparsed column."""
+        with pytest.raises(ParseError, match="supported aggregates") as exc:
+            parse_query(f"SELECT {func}(a) FROM R")
+        assert func.upper() in str(exc.value)
 
 
 class TestJoinSyntax:
